@@ -1,0 +1,135 @@
+(* The benchmark executable.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (§VIII) on the deterministic simulator, printing measured-vs-paper
+   rows — one block per table/figure, in paper order.
+
+   Part 2 runs Bechamel micro-benchmarks of the compute-bound substrate
+   (hashing, signatures, codecs, the event engine), i.e. the real CPU
+   cost of running the harness itself.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- fig7         # one experiment
+     dune exec bench/main.exe -- micro        # only the micro-benchmarks
+     BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep *)
+
+open Bechamel
+open Toolkit
+
+(* ---------- part 1: the paper's tables and figures ---------- *)
+
+let scale =
+  match Sys.getenv_opt "BP_BENCH_SCALE" with
+  | Some s -> ( try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let run_experiment e =
+  Printf.printf "\n";
+  let t0 = Unix.gettimeofday () in
+  List.iter Bp_harness.Report.print (e.Bp_harness.Experiments.run ~scale);
+  Printf.printf "   (regenerated in %.1fs wall time)\n%!" (Unix.gettimeofday () -. t0)
+
+let run_paper_benches ids =
+  Printf.printf "=====================================================\n";
+  Printf.printf "Blockplane (ICDE 2019) - evaluation reproduction\n";
+  Printf.printf "scale=%.2f (set BP_BENCH_SCALE to adjust)\n" scale;
+  Printf.printf "=====================================================\n";
+  List.iter
+    (fun e ->
+      if ids = [] || List.mem e.Bp_harness.Experiments.id ids then run_experiment e)
+    Bp_harness.Experiments.all
+
+(* ---------- part 2: micro-benchmarks ---------- *)
+
+let micro_tests () =
+  let open Bp_crypto in
+  let rng = Bp_util.Rng.create 7L in
+  let payload_1k = String.init 1024 (fun i -> Char.chr (i land 0xff)) in
+  let payload_64k = String.init 65536 (fun i -> Char.chr (i land 0xff)) in
+  let lamport_sk, lamport_pk = Lamport.keygen rng in
+  let lamport_sig = Lamport.sign lamport_sk "msg" in
+  let record =
+    Blockplane.Record.Recv
+      {
+        Blockplane.Record.src = 1;
+        tdest = 0;
+        tcomm_seq = 42;
+        log_pos = 117;
+        tpayload = payload_1k;
+        proofs = [ ("u1/n1.0", String.make 32 's'); ("u1/n1.1", String.make 32 't') ];
+        geo_proofs = [];
+      }
+  in
+  let encoded_record = Blockplane.Record.encode record in
+  let frame = Bp_codec.Frame.seal payload_1k in
+  [
+    Test.make ~name:"sha256 (1 KiB)"
+      (Staged.stage (fun () -> Sha256.digest payload_1k));
+    Test.make ~name:"sha256 (64 KiB)"
+      (Staged.stage (fun () -> Sha256.digest payload_64k));
+    Test.make ~name:"hmac-sha256 (1 KiB)"
+      (Staged.stage (fun () -> Hmac.sha256 ~key:"benchkey" payload_1k));
+    Test.make ~name:"crc32 (64 KiB)"
+      (Staged.stage (fun () -> Crc32.string payload_64k));
+    Test.make ~name:"merkle root (64 leaves)"
+      (Staged.stage
+         (let leaves = List.init 64 string_of_int in
+          fun () -> Merkle.root leaves));
+    Test.make ~name:"lamport verify"
+      (Staged.stage (fun () -> Lamport.verify lamport_pk "msg" lamport_sig));
+    Test.make ~name:"record decode (1 KiB recv)"
+      (Staged.stage (fun () -> Blockplane.Record.decode encoded_record));
+    Test.make ~name:"frame unseal (1 KiB)"
+      (Staged.stage (fun () -> Bp_codec.Frame.unseal frame));
+    Test.make ~name:"engine schedule+fire 1k events"
+      (Staged.stage (fun () ->
+           let e = Bp_sim.Engine.create () in
+           for i = 1 to 1000 do
+             ignore
+               (Bp_sim.Engine.schedule e ~after:(Bp_sim.Time.of_us i) (fun () -> ()))
+           done;
+           Bp_sim.Engine.run e));
+    Test.make ~name:"simulated local commit (full unit)"
+      (Staged.stage (fun () ->
+           let world = Bp_harness.Runner.fresh_world ~n_participants:1 () in
+           let api = Blockplane.Deployment.api world.Bp_harness.Runner.dep 0 in
+           let ok = ref false in
+           Blockplane.Api.log_commit api "bench" ~on_done:(fun () -> ok := true);
+           Bp_sim.Engine.run ~until:(Bp_sim.Time.of_sec 1.0)
+             world.Bp_harness.Runner.engine;
+           assert !ok));
+  ]
+
+let run_micro () =
+  Printf.printf "\n=====================================================\n";
+  Printf.printf "Micro-benchmarks (Bechamel; real CPU time per call)\n";
+  Printf.printf "=====================================================\n";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (ns :: _) when ns < 1e4 ->
+              Printf.printf "%-42s %10.0f ns/op\n" name ns
+          | Some (ns :: _) -> Printf.printf "%-42s %10.1f us/op\n" name (ns /. 1e3)
+          | _ -> Printf.printf "%-42s (no estimate)\n" name)
+        analyzed)
+    (micro_tests ());
+  Printf.printf "%!"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "micro" ] -> run_micro ()
+  | [] ->
+      run_paper_benches [];
+      run_micro ()
+  | ids -> run_paper_benches ids

@@ -1,0 +1,67 @@
+(* Command-line entry point: run any of the paper's experiments. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let scale_arg =
+  let doc =
+    "Workload scale factor: 1.0 reproduces the full configured workload, \
+     smaller values shrink batch counts proportionally for quick runs."
+  in
+  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-8s %s\n" e.Bp_harness.Experiments.id
+          e.Bp_harness.Experiments.title)
+      Bp_harness.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments")
+    Term.(const run $ const ())
+
+let run_experiment id scale verbose =
+  setup_logs verbose;
+  match Bp_harness.Experiments.find id with
+  | None ->
+      Printf.eprintf "unknown experiment %S; try `blockplane-cli list`\n" id;
+      exit 1
+  | Some e ->
+      List.iter Bp_harness.Report.print (e.Bp_harness.Experiments.run ~scale)
+
+let run_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see `list`).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured table")
+    Term.(const run_experiment $ id_arg $ scale_arg $ verbose_arg)
+
+let all_cmd =
+  let run scale verbose =
+    setup_logs verbose;
+    List.iter
+      (fun e ->
+        List.iter Bp_harness.Report.print (e.Bp_harness.Experiments.run ~scale))
+      Bp_harness.Experiments.all
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every table and figure of the evaluation")
+    Term.(const run $ scale_arg $ verbose_arg)
+
+let () =
+  let info =
+    Cmd.info "blockplane-cli" ~version:"0.1.0"
+      ~doc:"Blockplane (ICDE 2019) reproduction — experiment driver"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))

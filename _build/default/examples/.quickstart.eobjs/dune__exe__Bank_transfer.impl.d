@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Api App Bank Blockplane Bp_apps Bp_sim Deployment Engine Network Printf Record Time Topology

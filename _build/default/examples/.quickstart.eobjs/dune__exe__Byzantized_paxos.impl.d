@@ -1,0 +1,1 @@
+examples/byzantized_paxos.ml: App Array Blockplane Bp_apps Bp_sim Byz_paxos Deployment Engine List Network Printf String Time Topology

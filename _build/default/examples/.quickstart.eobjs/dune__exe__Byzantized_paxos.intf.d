@@ -1,0 +1,1 @@
+examples/byzantized_paxos.mli:

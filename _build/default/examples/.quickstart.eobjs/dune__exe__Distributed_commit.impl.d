@@ -1,0 +1,1 @@
+examples/distributed_commit.ml: Api App Blockplane Bp_apps Bp_codec Bp_sim Bp_storage Deployment Engine List Network Option Printf Record Time Topology Two_phase

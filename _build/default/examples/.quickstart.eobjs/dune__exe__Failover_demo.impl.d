@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Api App Blockplane Bp_sim Deployment Engine Geo List Network Printf String Time Topology

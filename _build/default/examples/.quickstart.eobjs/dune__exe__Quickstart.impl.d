@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Api App Array Blockplane Bp_apps Bp_sim Deployment Engine Network Printf Record Time Topology Unit_node

@@ -1,0 +1,1 @@
+lib/apps/bank.ml: Api App Blockplane Bp_codec Bp_crypto Hashtbl List Option Printf Record String Unit_node Wire

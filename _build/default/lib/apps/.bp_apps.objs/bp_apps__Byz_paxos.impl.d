@@ -1,0 +1,1 @@
+lib/apps/byz_paxos.ml: Api Blockplane Bp_codec Bp_crypto Fun List Printf Record Stdlib String Wire

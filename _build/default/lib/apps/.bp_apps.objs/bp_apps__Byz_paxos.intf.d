@@ -1,0 +1,1 @@
+lib/apps/byz_paxos.mli: Blockplane

@@ -1,0 +1,1 @@
+lib/apps/counter.ml: Api App Blockplane Bp_crypto List Printf Record String Unit_node

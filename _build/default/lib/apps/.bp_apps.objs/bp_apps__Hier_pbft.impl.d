@@ -1,0 +1,1 @@
+lib/apps/hier_pbft.ml: Addr Array Bp_codec Bp_crypto Bp_net Bp_pbft Bp_sim Bp_util Engine List Network Printf String Wire

@@ -1,0 +1,1 @@
+lib/apps/hier_pbft.mli: Bp_sim

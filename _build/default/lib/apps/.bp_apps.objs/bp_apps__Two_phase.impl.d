@@ -1,0 +1,1 @@
+lib/apps/two_phase.ml: Api Blockplane Bp_codec Bp_crypto Bp_storage Hashtbl List Option Printf Record String Unit_node Wire

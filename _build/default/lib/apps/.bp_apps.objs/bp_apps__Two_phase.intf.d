@@ -1,0 +1,1 @@
+lib/apps/two_phase.mli: Blockplane Bp_storage

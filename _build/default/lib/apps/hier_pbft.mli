@@ -1,0 +1,29 @@
+(** The "Hierarchical PBFT" baseline of §VIII-D.
+
+    Same communication pattern as Blockplane-Paxos — PBFT inside each
+    datacenter, Paxos-style wide-area replication — but *without* the
+    Blockplane API separation: protocol steps are committed in the local
+    PBFT log, while wide-area messages go directly over the network (no
+    transmission-record signing, no receive-side commitment before
+    processing). Its latency therefore falls between plain Paxos and
+    Blockplane-Paxos (Fig. 7). *)
+
+type t
+
+val create :
+  network:Bp_sim.Network.t ->
+  n_participants:int ->
+  ?fi:int ->
+  unit ->
+  t
+(** Builds one PBFT cluster of 3fi+1 nodes per datacenter (tags
+    ["h<p>"]) plus a replication agent per participant. *)
+
+val replicate : t -> leader:int -> string -> on_committed:(unit -> unit) -> unit
+(** Replication round driven from [leader]: locally commit the intent,
+    send proposals to the other participants, each locally commits an
+    accept and replies, the leader locally commits the decision once a
+    majority answered. *)
+
+val decided_count : t -> int -> int
+(** Values decided at a participant's agent. *)

@@ -1,0 +1,49 @@
+(** Byzantized two-phase commit — the transaction-processing use case the
+    paper motivates in §III-C ("a transaction processing application would
+    have verification routines to check whether a transaction can
+    commit").
+
+    A coordinator participant drives atomic transactions across cohort
+    participants, each holding a partition of a key-value store. The
+    protocol is plain, benign 2PC written against the Blockplane API; the
+    verification routines make each step unfakeable by a byzantine
+    replica:
+
+    - a cohort's YES vote only verifies if the prepare message was
+      genuinely received *and* its operation really applies to the
+      cohort's current partition state;
+    - the coordinator's COMMIT decision only verifies once every cohort's
+      YES vote has been received (a byzantine node cannot commit a
+      transaction that any cohort refused);
+    - a cohort only applies an operation after the decision was received.
+
+    All messages travel through [send]/[receive]; every state change is
+    log-committed first (Definition 1). *)
+
+module Protocol : Blockplane.App.S
+
+type t
+
+val attach_coordinator : Blockplane.Api.t -> t
+(** Bind the coordinator role to a participant's API. *)
+
+val attach_cohort : Blockplane.Api.t -> unit
+(** Install the cohort automaton: votes on prepares (after committing the
+    vote), applies decisions. *)
+
+type outcome = Committed | Aborted
+
+val submit :
+  t ->
+  ops:(int * Bp_storage.Kv.op) list ->
+  on_decided:(outcome -> unit) ->
+  unit
+(** Run one transaction: one KV operation per cohort participant.
+    [on_decided] fires after the decision is durably committed at the
+    coordinator; COMMIT requires every cohort to have voted YES. *)
+
+val partition_get : Blockplane.Unit_node.t -> string -> string option
+(** Read a key from a node's replica of its participant's partition. *)
+
+val decided_count : t -> int * int
+(** (committed, aborted) transactions at this coordinator. *)

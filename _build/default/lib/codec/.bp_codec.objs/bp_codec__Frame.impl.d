@@ -1,0 +1,1 @@
+lib/codec/frame.ml: Bp_crypto Buffer Char Int32 String

@@ -1,0 +1,45 @@
+let magic = "BPF1"
+let overhead = String.length magic + 4 + 4
+
+let put_u32 buf v =
+  for i = 3 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let get_u32 s off =
+  let b i = Int32.of_int (Char.code s.[off + i]) in
+  Int32.logor
+    (Int32.shift_left (b 0) 24)
+    (Int32.logor
+       (Int32.shift_left (b 1) 16)
+       (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+
+let seal payload =
+  let buf = Buffer.create (String.length payload + overhead) in
+  Buffer.add_string buf magic;
+  put_u32 buf (Int32.of_int (String.length payload));
+  put_u32 buf (Bp_crypto.Crc32.string payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let unseal_prefix buf ~off =
+  let mlen = String.length magic in
+  if off < 0 || String.length buf - off < overhead then Error `Malformed
+  else if not (String.equal (String.sub buf off mlen) magic) then Error `Malformed
+  else begin
+    let len = Int32.to_int (get_u32 buf (off + mlen)) in
+    if len < 0 || String.length buf - off < overhead + len then Error `Malformed
+    else begin
+      let crc = get_u32 buf (off + mlen + 4) in
+      let payload = String.sub buf (off + overhead) len in
+      if Bp_crypto.Crc32.string payload = crc then Ok (payload, overhead + len)
+      else Error `Corrupt
+    end
+  end
+
+let unseal frame =
+  match unseal_prefix frame ~off:0 with
+  | Error _ as e -> e
+  | Ok (payload, consumed) ->
+      if consumed = String.length frame then Ok payload else Error `Malformed

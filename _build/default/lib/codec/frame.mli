@@ -1,0 +1,23 @@
+(** Length-prefixed, CRC32-protected frames.
+
+    This is the corruption-detection layer the paper delegates to TCP:
+    every message crossing the simulated network travels inside a frame,
+    and a frame whose checksum does not match its payload is dropped by the
+    receiver (surfacing as a message loss, which the reliable-channel layer
+    then recovers by retransmission). *)
+
+val overhead : int
+(** Bytes added around a payload (magic + length + checksum). *)
+
+val seal : string -> string
+(** Wrap a payload into a frame. *)
+
+val unseal : string -> (string, [ `Corrupt | `Malformed ]) result
+(** Recover the payload. [`Corrupt] means the checksum failed (in-flight
+    bit-flips); [`Malformed] means the framing structure itself is broken. *)
+
+val unseal_prefix :
+  string -> off:int -> (string * int, [ `Corrupt | `Malformed ]) result
+(** Parse one frame starting at [off] in a longer buffer (e.g. a WAL
+    image); on success returns the payload and the total frame length
+    consumed. *)

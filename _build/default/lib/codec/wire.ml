@@ -1,0 +1,105 @@
+type encoder = Buffer.t
+
+let encoder () = Buffer.create 128
+let to_string = Buffer.contents
+
+let varint buf n =
+  if n < 0 then invalid_arg "Wire.varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let zigzag buf n =
+  let mapped = if n >= 0 then 2 * n else (-2 * n) - 1 in
+  varint buf mapped
+
+let u8 buf n =
+  if n < 0 || n > 255 then invalid_arg "Wire.u8: out of range";
+  Buffer.add_char buf (Char.chr n)
+
+let bool buf b = u8 buf (if b then 1 else 0)
+
+let string buf s =
+  varint buf (String.length s);
+  Buffer.add_string buf s
+
+let fixed buf s = Buffer.add_string buf s
+
+let list buf enc xs =
+  varint buf (List.length xs);
+  List.iter enc xs
+
+let option buf enc = function
+  | None -> bool buf false
+  | Some x ->
+      bool buf true;
+      enc x
+
+type decoder = { src : string; mutable pos : int }
+
+exception Malformed of string
+
+let decoder src = { src; pos = 0 }
+let remaining d = String.length d.src - d.pos
+let at_end d = remaining d = 0
+
+let fail msg = raise (Malformed msg)
+
+let read_u8 d =
+  if d.pos >= String.length d.src then fail "u8: end of input";
+  let c = Char.code d.src.[d.pos] in
+  d.pos <- d.pos + 1;
+  c
+
+let read_varint d =
+  let rec go shift acc =
+    if shift > 62 then fail "varint: too long";
+    let b = read_u8 d in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_zigzag d =
+  let m = read_varint d in
+  if m land 1 = 0 then m / 2 else -((m + 1) / 2)
+
+let read_bool d =
+  match read_u8 d with
+  | 0 -> false
+  | 1 -> true
+  | n -> fail (Printf.sprintf "bool: invalid byte %d" n)
+
+let read_fixed d n =
+  if n < 0 || remaining d < n then fail "fixed: end of input";
+  let s = String.sub d.src d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let read_string d =
+  let n = read_varint d in
+  read_fixed d n
+
+let read_list d elt =
+  let n = read_varint d in
+  if n > remaining d then fail "list: length exceeds input";
+  List.init n (fun _ -> elt d)
+
+let read_option d elt = if read_bool d then Some (elt d) else None
+
+let decode src reader =
+  let d = decoder src in
+  match reader d with
+  | v -> if at_end d then Ok v else Error "trailing bytes"
+  | exception Malformed msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let encode f =
+  let e = encoder () in
+  f e;
+  to_string e

@@ -1,0 +1,54 @@
+(** Binary wire format combinators.
+
+    Every protocol message in the repository is serialized through this
+    module, so message sizes seen by the network simulator are the real
+    encoded sizes. Integers use LEB128 varints; strings and lists are
+    length-prefixed. Decoding is total: malformed input yields [Error],
+    never an exception, because byzantine peers may send arbitrary bytes. *)
+
+type encoder
+
+val encoder : unit -> encoder
+val to_string : encoder -> string
+
+val varint : encoder -> int -> unit
+(** Non-negative varint. @raise Invalid_argument on negative input. *)
+
+val zigzag : encoder -> int -> unit
+(** Signed varint (zigzag encoding). *)
+
+val u8 : encoder -> int -> unit
+val bool : encoder -> bool -> unit
+val string : encoder -> string -> unit
+val fixed : encoder -> string -> unit
+(** Raw bytes with no length prefix (both sides must know the length). *)
+
+val list : encoder -> ('a -> unit) -> 'a list -> unit
+(** Length-prefixed list; the element encoder writes into the same buffer. *)
+
+val option : encoder -> ('a -> unit) -> 'a option -> unit
+
+type decoder
+
+val decoder : string -> decoder
+val remaining : decoder -> int
+val at_end : decoder -> bool
+
+exception Malformed of string
+(** Raised internally by the [read_*] functions; {!decode} converts it to
+    [Error]. *)
+
+val read_varint : decoder -> int
+val read_zigzag : decoder -> int
+val read_u8 : decoder -> int
+val read_bool : decoder -> bool
+val read_string : decoder -> string
+val read_fixed : decoder -> int -> string
+val read_list : decoder -> (decoder -> 'a) -> 'a list
+val read_option : decoder -> (decoder -> 'a) -> 'a option
+
+val decode : string -> (decoder -> 'a) -> ('a, string) result
+(** Run a reader over the whole input; trailing bytes are an error. *)
+
+val encode : (encoder -> unit) -> string
+(** Convenience: run an encoding function over a fresh encoder. *)

@@ -1,0 +1,1 @@
+lib/core/api.ml: Addr Array Bp_net Bp_pbft Bp_sim Bp_storage Geo List Option Printf Proto Record Unit_node

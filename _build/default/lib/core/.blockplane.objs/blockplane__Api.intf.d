@@ -1,0 +1,1 @@
+lib/core/api.mli: Bp_pbft Bp_sim Geo Record Unit_node

@@ -1,0 +1,1 @@
+lib/core/app.ml: Bp_crypto Bp_util Record String

@@ -1,0 +1,1 @@
+lib/core/comm_daemon.ml: Addr Array Bp_crypto Bp_net Bp_sim Bp_storage Engine Int List Map Network Option Proto Record Stdlib Time Topology Unit_node

@@ -1,0 +1,1 @@
+lib/core/comm_daemon.mli: Bp_sim Unit_node

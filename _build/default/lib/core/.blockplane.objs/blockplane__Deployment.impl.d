@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Addr Api Array Bp_crypto Bp_pbft Bp_sim Bp_storage Bp_util Comm_daemon Engine Fun Geo List Network Printf Reserve Stdlib String Topology Unit_node

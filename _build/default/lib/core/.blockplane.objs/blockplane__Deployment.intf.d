@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Api App Bp_crypto Bp_sim Comm_daemon Geo Reserve Unit_node

@@ -1,0 +1,1 @@
+lib/core/geo.ml: Addr Array Bp_crypto Bp_net Bp_sim Engine Hashtbl Int List Map Network Printf Proto Record String Time Unit_node

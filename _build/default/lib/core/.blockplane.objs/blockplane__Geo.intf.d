@@ -1,0 +1,1 @@
+lib/core/geo.mli: Bp_sim Unit_node

@@ -1,0 +1,1 @@
+lib/core/proto.ml: Bp_codec Printf Record Wire

@@ -1,0 +1,1 @@
+lib/core/record.ml: Bp_codec Bp_crypto Printf Wire

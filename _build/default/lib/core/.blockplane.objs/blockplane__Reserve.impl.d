@@ -1,0 +1,1 @@
+lib/core/reserve.ml: Addr Array Bp_net Bp_sim Bp_storage Comm_daemon Engine List Network Proto Record Stdlib Time Unit_node

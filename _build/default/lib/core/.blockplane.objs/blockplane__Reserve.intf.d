@@ -1,0 +1,1 @@
+lib/core/reserve.mli: Bp_sim Comm_daemon Unit_node

@@ -1,0 +1,1 @@
+lib/core/unit_node.ml: Addr App Array Bp_crypto Bp_net Bp_pbft Bp_sim Bp_storage Hashtbl Int List Logs Map Network Option Printf Proto Queue Record String

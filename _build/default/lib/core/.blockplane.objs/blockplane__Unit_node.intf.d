@@ -1,0 +1,1 @@
+lib/core/unit_node.mli: App Bp_crypto Bp_net Bp_pbft Bp_sim Bp_storage Proto Record

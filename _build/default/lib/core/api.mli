@@ -1,0 +1,58 @@
+(** The user-level Blockplane interface (§III-C): [log-commit], [read],
+    [send] and [receive], plus the three read strategies of §VI-A.
+
+    One API handle exists per participant, representing the user-space of
+    Fig. 1. It submits records through the unit's PBFT as a co-located
+    client and observes the Local Log through the unit's lead node. *)
+
+type t
+
+val create :
+  network:Bp_sim.Network.t ->
+  pbft_cfg:Bp_pbft.Config.t ->
+  participant:int ->
+  n_participants:int ->
+  lead_node:Unit_node.t ->
+  geo:Geo.t ->
+  t
+
+val participant : t -> int
+
+val log_commit : t -> ?on_rejected:(unit -> unit) -> string -> on_done:(unit -> unit) -> unit
+(** Durably append a state-change event. [on_done] fires when the value
+    is committed to the Local Log — and, when fg > 0, additionally proved
+    by fg other participants (§V). *)
+
+val send : t -> ?on_rejected:(unit -> unit) -> dest:int -> string -> on_done:(unit -> unit) -> unit
+(** Write a communication record. [on_done] fires at local commitment
+    (plus geo proving when fg > 0); actual wide-area transmission is the
+    communication daemon's job and is asynchronous. *)
+
+val receive : t -> src:int -> string option
+(** Poll the next unread message from [src] (reception buffers, §IV-C). *)
+
+val on_receive : t -> (src:int -> string -> unit) -> unit
+(** Push-style delivery as received records execute. Use either this or
+    {!receive} polling for a given source, not both. *)
+
+val read : t -> int -> Record.t option
+(** Read-1 strategy: serve from the closest (lead) node directly. A
+    byzantine lead node could lie — see {!read_quorum}. *)
+
+val read_quorum : t -> int -> on_result:(Record.t option -> unit) -> unit
+(** Wait for 2f+1 identical answers from distinct unit nodes: tolerates f
+    liars. [on_result None] after a majority of "no such entry". *)
+
+val read_linearizable : t -> int -> on_result:(Record.t option -> unit) -> unit
+(** Strongest strategy: commits a read marker through the log, then
+    serves the entry — the answer reflects every commit that preceded the
+    marker. *)
+
+val next_comm_seq : t -> dest:int -> int
+(** The next per-destination sequence number [send] would use. *)
+
+val submit_record :
+  t -> Record.t -> on_done:(unit -> unit) -> on_rejected:(unit -> unit) -> unit
+(** Low-level submission of an arbitrary record (used by tests to model
+    byzantine proposals; [on_rejected] fires when f+1 replicas pre-reject
+    the record via their verification routines). *)

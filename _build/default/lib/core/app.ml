@@ -1,0 +1,30 @@
+module type S = sig
+  type state
+
+  val create : unit -> state
+  val verify : state -> Record.t -> bool
+  val apply : state -> Record.t -> unit
+  val digest : state -> string
+  val describe : state -> string
+end
+
+type instance = Instance : (module S with type state = 's) * 's -> instance
+
+let make (module A : S) = Instance ((module A), A.create ())
+
+let verify (Instance ((module A), state)) record = A.verify state record
+let apply (Instance ((module A), state)) record = A.apply state record
+let digest (Instance ((module A), state)) = A.digest state
+let describe (Instance ((module A), state)) = A.describe state
+
+module Null = struct
+  type state = string ref
+
+  let create () = ref (Bp_crypto.Sha256.digest "null-app")
+  let verify _ _ = true
+  let apply state record =
+    state := Bp_crypto.Sha256.digest_list [ !state; Record.encode record ]
+
+  let digest state = !state
+  let describe state = "null-app:" ^ Bp_util.Hex.encode (String.sub !state 0 4)
+end

@@ -1,0 +1,43 @@
+(** The user-protocol interface (§III-C).
+
+    A protocol [P] byzantized by Blockplane supplies a deterministic state
+    machine plus verification routines. Every Blockplane node in the unit
+    runs one instance; instances start identical and evolve only through
+    {!S.apply} on committed Local Log records, so all honest copies agree.
+
+    [verify] is the programmer-written verification routine: replicas call
+    it (against their own replayed state) between the PBFT prepared and
+    commit phases, and an honest primary also pre-screens with it. It must
+    be a pure function of [(state, record)]. *)
+
+module type S = sig
+  type state
+
+  val create : unit -> state
+
+  val verify : state -> Record.t -> bool
+  (** Is this record a legal next state transition? For [Recv] records the
+      middleware has already enforced the built-in receive checks (f+1
+      source signatures, ordering, no duplicates) before asking. *)
+
+  val apply : state -> Record.t -> unit
+  (** Incorporate a committed record. Must be deterministic. *)
+
+  val digest : state -> string
+  (** State digest, for cross-replica agreement checks in tests. *)
+
+  val describe : state -> string
+  (** Human-readable snapshot (examples, debugging, state inspection). *)
+end
+
+type instance = Instance : (module S with type state = 's) * 's -> instance
+
+val make : (module S) -> instance
+val verify : instance -> Record.t -> bool
+val apply : instance -> Record.t -> unit
+val digest : instance -> string
+val describe : instance -> string
+
+(** A trivial app that accepts everything and only folds records into a
+    digest — useful for measuring pure middleware cost. *)
+module Null : S

@@ -1,0 +1,199 @@
+open Bp_sim
+
+module Int_map = Map.Make (Int)
+
+type txn_state = {
+  txn : Record.transmission;
+  mutable sigs : (string * string) list;
+  mutable geo : (int * (string * string) list) list option;
+      (* None = still waiting (only when fg > 0) *)
+  mutable ready : bool; (* sigs (+ geo) complete, eligible to transmit *)
+  mutable transmitted : bool;
+}
+
+type t = {
+  node : Unit_node.t;
+  dest : int;
+  dest_nodes : Addr.t array;
+  geo_proofs :
+    (pos:int -> on_ready:((int * (string * string) list) list -> unit) -> unit)
+    option;
+  engine : Engine.t;
+  needed_sigs : int;
+  mutable pending : txn_state Int_map.t; (* comm_seq -> state *)
+  mutable highest : int;
+  mutable acked : int;
+  mutable target : int; (* destination node rotation index *)
+  mutable enabled : bool;
+  mutable sent_count : int;
+  mutable ack_count : int;
+  mutable ack_subs : (int -> unit) list;
+}
+
+let dest t = t.dest
+let highest_comm_seq t = t.highest
+let acked t = t.acked
+let set_enabled t b = t.enabled <- b
+let stats t = (t.sent_count, t.ack_count)
+let on_acked t f = t.ack_subs <- f :: t.ack_subs
+
+let send_aux t ~dst msg =
+  Bp_net.Transport.send (Unit_node.transport t.node) ~dst
+    ~tag:(Proto.aux_tag dst.Addr.dc) (Proto.encode msg)
+
+let transmit t st =
+  if t.enabled then begin
+    let target = t.dest_nodes.(t.target mod Array.length t.dest_nodes) in
+    st.transmitted <- true;
+    t.sent_count <- t.sent_count + 1;
+    send_aux t ~dst:target
+      (Proto.Transmit
+         {
+           transmission =
+             {
+               st.txn with
+               Record.proofs = st.sigs;
+               geo_proofs = Option.value ~default:[] st.geo;
+             };
+         })
+  end
+
+let maybe_ready t st =
+  if
+    (not st.ready)
+    && List.length st.sigs >= t.needed_sigs
+    && (t.geo_proofs = None || st.geo <> None)
+  then begin
+    st.ready <- true;
+    transmit t st
+  end
+
+let request_signatures t st =
+  (* Our own attestation is immediate; fi more come from the unit round. *)
+  (match Unit_node.sign_transmission t.node st.txn with
+  | Some pair -> st.sigs <- [ pair ]
+  | None -> ());
+  let self = Unit_node.addr t.node in
+  Array.iter
+    (fun peer ->
+      if not (Addr.equal peer self) then
+        send_aux t ~dst:peer (Proto.Sign_request { transmission = st.txn }))
+    (Unit_node.peers t.node);
+  maybe_ready t st
+
+let track t ~pos (comm : Record.communication) =
+  if comm.Record.dest = t.dest && comm.Record.comm_seq > t.acked
+     && not (Int_map.mem comm.Record.comm_seq t.pending)
+  then begin
+    let txn =
+      {
+        Record.src = Unit_node.participant t.node;
+        tdest = t.dest;
+        tcomm_seq = comm.Record.comm_seq;
+        log_pos = pos;
+        tpayload = comm.Record.payload;
+        proofs = [];
+        geo_proofs = [];
+      }
+    in
+    let st = { txn; sigs = []; geo = None; ready = false; transmitted = false } in
+    t.pending <- Int_map.add comm.Record.comm_seq st t.pending;
+    t.highest <- Stdlib.max t.highest comm.Record.comm_seq;
+    (match t.geo_proofs with
+    | None -> ()
+    | Some wait ->
+        wait ~pos ~on_ready:(fun bundles ->
+            st.geo <- Some bundles;
+            maybe_ready t st));
+    request_signatures t st
+  end
+
+let on_sign_response t ~dest ~comm_seq ~identity ~signature =
+  if dest = t.dest then
+    match Int_map.find_opt comm_seq t.pending with
+    | Some st when not st.ready ->
+        if not (List.mem_assoc identity st.sigs) then begin
+          (* Validate before counting: a byzantine node could send junk. *)
+          let statement = Record.transmission_statement st.txn in
+          if
+            Bp_crypto.Signer.verify (Unit_node.keystore t.node) ~signer:identity
+              ~msg:statement ~signature
+          then begin
+            st.sigs <- (identity, signature) :: st.sigs;
+            maybe_ready t st
+          end
+        end
+    | _ -> ()
+
+let on_ack t ~from_participant ~comm_seq =
+  if from_participant = t.dest && comm_seq > t.acked then begin
+    t.acked <- comm_seq;
+    t.ack_count <- t.ack_count + 1;
+    t.pending <- Int_map.filter (fun seq _ -> seq > comm_seq) t.pending;
+    List.iter (fun f -> f comm_seq) t.ack_subs
+  end
+
+let retry t =
+  (* Rotate to another destination node and re-send everything ready but
+     unacknowledged, in order — a crashed or malicious receiver node is
+     bypassed; the receiving side deduplicates. *)
+  if t.enabled && not (Int_map.is_empty t.pending) then begin
+    let any_ready = Int_map.exists (fun _ st -> st.ready) t.pending in
+    if any_ready then begin
+      t.target <- t.target + 1;
+      Int_map.iter (fun _ st -> if st.ready then transmit t st) t.pending
+    end
+    else
+      (* Signatures still missing (lagging peers): ask again. *)
+      Int_map.iter (fun _ st -> request_signatures t st) t.pending
+  end
+
+let create ~node ~dest ~dest_nodes ?geo_proofs ?(start_after = -1) () =
+  let engine =
+    Network.engine (Bp_net.Transport.network (Unit_node.transport node))
+  in
+  let t =
+    {
+      node;
+      dest;
+      dest_nodes;
+      geo_proofs;
+      engine;
+      needed_sigs = Unit_node.fi node + 1;
+      pending = Int_map.empty;
+      highest = start_after;
+      acked = start_after;
+      target = 0;
+      enabled = true;
+      sent_count = 0;
+      ack_count = 0;
+      ack_subs = [];
+    }
+  in
+  (* Backlog: scan the host node's log from the start (Algorithm 2's
+     pointer p starts at the first entry). *)
+  Bp_storage.Log_store.iter_from (Unit_node.log node) 0 (fun entry ->
+      match Record.decode entry.Bp_storage.Log_store.payload with
+      | Ok (Record.Comm comm) ->
+          track t ~pos:entry.Bp_storage.Log_store.index comm
+      | _ -> ());
+  (* Follow new executions. *)
+  Unit_node.add_executed_hook node (fun ~pos record ->
+      match record with Record.Comm comm -> track t ~pos comm | _ -> ());
+  (* Responses (signatures, acks) arrive on the unit's aux tag. *)
+  Unit_node.add_aux_listener node (fun ~src:_ msg ->
+      match msg with
+      | Proto.Sign_response { dest; comm_seq; identity; signature } when dest = t.dest ->
+          on_sign_response t ~dest ~comm_seq ~identity ~signature;
+          true
+      | Proto.Ack { from_participant; comm_seq } when from_participant = t.dest ->
+          on_ack t ~from_participant ~comm_seq;
+          true
+      | _ -> false);
+  (* Retry cadence scales with the destination RTT. *)
+  let topo = Network.topology (Bp_net.Transport.network (Unit_node.transport node)) in
+  let rtt = Topology.rtt topo (Unit_node.addr node).Addr.dc dest in
+  ignore
+    (Engine.periodic engine ~every:(Time.add (Time.scale rtt 3.0) (Time.of_ms 20.0))
+       (fun () -> retry t));
+  t

@@ -1,0 +1,48 @@
+(** The communication daemon (§IV-C, Algorithm 2).
+
+    One daemon per (participant, destination) pair, hosted on one of the
+    unit's nodes. It watches the node's Local Log copy for communication
+    records addressed to its destination, builds transmission records,
+    collects fi+1 local signatures (its own plus a broadcast round),
+    attaches geo proofs when fg > 0, ships the record to a destination
+    node, and advances on cumulative acknowledgements. Unacknowledged
+    transmissions are retried against rotating destination nodes, so a
+    crashed or byzantine destination node cannot block delivery. *)
+
+type t
+
+val create :
+  node:Unit_node.t ->
+  dest:int ->
+  dest_nodes:Bp_sim.Addr.t array ->
+  ?geo_proofs:(pos:int -> on_ready:((int * (string * string) list) list -> unit) -> unit) ->
+  ?start_after:int ->
+  unit ->
+  t
+(** [geo_proofs] asynchronously supplies the §V proof bundles for a log
+    position (required iff fg > 0). [start_after] skips communication
+    records with comm_seq <= it (used by promoted reserves that know the
+    destination's frontier). Scans the host node's existing log for
+    backlog, then follows new executions via the node hook. *)
+
+val dest : t -> int
+
+val highest_comm_seq : t -> int
+(** Highest comm_seq this daemon has seen committed locally for its
+    destination (-1 if none) — what reserve nodes compare against. *)
+
+val acked : t -> int
+(** Destination's cumulative acknowledgement frontier. *)
+
+val set_enabled : t -> bool -> unit
+(** Byzantine knob: a disabled daemon silently stops transmitting
+    (maliciously delaying messages, §IV-C) — reserves must take over. *)
+
+val stats : t -> int * int
+(** (transmissions sent incl. retries, acks received). *)
+
+val on_acked : t -> (int -> unit) -> unit
+(** Subscribe to acknowledgement progress: called with the destination's
+    new cumulative comm_seq frontier whenever it advances (the instant the
+    source knows the message was committed remotely — the end point of the
+    Fig. 6 measurement). *)

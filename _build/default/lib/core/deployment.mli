@@ -1,0 +1,51 @@
+(** Whole-system deployment: one Blockplane unit per participant
+    (3fi+1 nodes in its datacenter), the user API per participant,
+    communication daemons and reserves between every pair, and the geo
+    layer when fg > 0. Participants map 1:1 onto the topology's
+    datacenters; node [i] of participant [p] lives at address [(p, i)]. *)
+
+type t
+
+val create :
+  network:Bp_sim.Network.t ->
+  n_participants:int ->
+  ?fi:int ->
+  ?fg:int ->
+  ?scheme:Bp_crypto.Signer.scheme ->
+  ?batch_max:int ->
+  ?request_timeout:Bp_sim.Time.t ->
+  app:(unit -> App.instance) ->
+  unit ->
+  t
+(** [app] builds a fresh protocol instance per node (all must start
+    identical). Defaults: fi = 1, fg = 0, HMAC signatures. Mirror sets
+    (fg > 0) are each participant's other datacenters ordered by RTT. *)
+
+val n_participants : t -> int
+val fi : t -> int
+val fg : t -> int
+
+val api : t -> int -> Api.t
+(** Participant [p]'s user-space handle. *)
+
+val node : t -> int -> int -> Unit_node.t
+(** [node t p i] is node [i] of participant [p]'s unit. *)
+
+val nodes_of : t -> int -> Unit_node.t array
+
+val daemon : t -> src:int -> dest:int -> Comm_daemon.t
+(** The active communication daemon for the pair. *)
+
+val reserves : t -> src:int -> dest:int -> Reserve.t list
+
+val geo : t -> int -> Geo.t
+
+val unit_addrs : t -> int -> Bp_sim.Addr.t array
+
+val app_digests_agree : t -> int -> bool
+(** Do all honest... all nodes of participant [p] hold identical app
+    state? (Test helper; byzantine nodes may diverge deliberately.) *)
+
+val logs_agree : t -> int -> bool
+(** Do all of participant [p]'s nodes agree on their common Local Log
+    prefix (Lemma 1 check)? *)

@@ -1,0 +1,54 @@
+(** Local Log records (§III-B).
+
+    A participant's Local Log holds two kinds of events written by the
+    user protocol — log-commit records and communication records — plus
+    received transmission records committed on the receiver's side.
+    The kind doubles as the PBFT request annotation (§IV-B). *)
+
+type kind = Log_commit | Communication | Received | Mirror
+
+val kind_to_int : kind -> int
+val kind_of_int : int -> kind option
+
+type communication = {
+  dest : int;  (** destination participant *)
+  comm_seq : int;
+      (** per-(source, destination) sequence number; the paper's "pointer
+          to the previous communication record to the same destination"
+          is [comm_seq - 1] *)
+  payload : string;
+}
+
+type transmission = {
+  src : int;
+  tdest : int;
+  tcomm_seq : int;
+  log_pos : int;  (** position of the communication record in the source's Local Log *)
+  tpayload : string;
+  proofs : (string * string) list;
+      (** fi+1 (signer identity, signature) pairs from the source unit *)
+  geo_proofs : (int * (string * string) list) list;
+      (** with fg>0: per-participant proof bundles (§V) *)
+}
+
+type t =
+  | Commit of string  (** user state-change event *)
+  | Comm of communication  (** a [send] not yet transmitted *)
+  | Recv of transmission  (** a received transmission record *)
+  | Mirrored of { owner : int; opos : int; ovalue : string }
+      (** geo layer (§V): a durable copy of entry [opos] of participant
+          [owner]'s Local Log, co-located in this unit's log. Invisible to
+          the user protocol. *)
+
+val kind_of : t -> kind
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+val transmission_statement : transmission -> string
+(** The byte string that source-unit nodes sign to attest a transmission
+    record (everything except the proofs themselves). *)
+
+val strip_proofs : transmission -> transmission
+(** Proofs and geo-proofs cleared — the canonical form stored in the
+    receiver's log (signatures are checked, not re-stored). *)

@@ -1,0 +1,398 @@
+open Bp_sim
+
+let log_src = Logs.Src.create "bp.core" ~doc:"Blockplane unit node"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Int_map = Map.Make (Int)
+
+type pending_txn = { txn : Record.transmission; requester : Addr.t }
+
+type t = {
+  net : Network.t;
+  pbft_cfg : Bp_pbft.Config.t;
+  participant : int;
+  n_participants : int;
+  node_idx : int;
+  fg : int;
+  addr : Addr.t;
+  transport : Bp_net.Transport.t;
+  mutable replica : Bp_pbft.Replica.t option; (* set right after create *)
+  client : Bp_pbft.Client.t;
+  log : Bp_storage.Log_store.t;
+  wal : Bp_storage.Wal.t;
+  app : App.instance;
+  last_received : int array;
+  reception : string Queue.t array;
+  (* receive path: per-source out-of-order transmissions awaiting commit *)
+  pending : (int, pending_txn Int_map.t) Hashtbl.t;
+  submitting : (int, int) Hashtbl.t; (* src -> in-flight comm_seq *)
+  committed_waiters : (int * int, unit -> unit) Hashtbl.t;
+  mutable executed_hooks : (pos:int -> Record.t -> unit) list;
+  mutable aux_listeners : (src:Addr.t -> Proto.t -> bool) list;
+  mutable geo_handler : (src:Addr.t -> Proto.t -> unit) option;
+  mirror_index : (int * int, string) Hashtbl.t; (* owner, pos -> value digest *)
+  mutable byz_sign_anything : bool;
+}
+
+let addr t = t.addr
+let peers t = t.pbft_cfg.Bp_pbft.Config.nodes
+let transport t = t.transport
+let replica t = Option.get t.replica
+let participant t = t.participant
+let log t = t.log
+let app t = t.app
+let app_digest t = App.digest t.app
+let identity t = Bp_pbft.Config.identity t.pbft_cfg t.addr
+let last_received t ~src = t.last_received.(src)
+let set_byzantine_sign_anything t b = t.byz_sign_anything <- b
+
+let poll_receive t ~src =
+  let q = t.reception.(src) in
+  if Queue.is_empty q then None else Some (Queue.pop q)
+
+let add_executed_hook t f = t.executed_hooks <- f :: t.executed_hooks
+let add_aux_listener t f = t.aux_listeners <- f :: t.aux_listeners
+let set_geo_request_handler t f = t.geo_handler <- Some f
+
+let mirror_digest t ~owner ~pos = Hashtbl.find_opt t.mirror_index (owner, pos)
+
+let keystore t = t.pbft_cfg.Bp_pbft.Config.keystore
+
+let sign_mirror t ~owner ~pos ~digest =
+  match mirror_digest t ~owner ~pos with
+  | Some d when String.equal d digest ->
+      Some
+        (Bp_crypto.Signer.sign (keystore t) ~signer:(identity t)
+           (Proto.mirror_statement ~owner ~pos ~digest))
+  | _ -> None
+
+(* ---------- built-in receive verification (§IV-C) ---------- *)
+
+let unit_identity_prefix p = Printf.sprintf "u%d/" p
+
+let valid_sig_bundle t ~from_participant ~statement ~needed sigs =
+  let prefix = unit_identity_prefix from_participant in
+  let seen = Hashtbl.create 8 in
+  let count =
+    List.fold_left
+      (fun acc (identity, signature) ->
+        if Hashtbl.mem seen identity then acc
+        else if not (String.length identity > String.length prefix
+                     && String.sub identity 0 (String.length prefix) = prefix)
+        then acc
+        else if
+          Bp_crypto.Signer.verify (keystore t) ~signer:identity ~msg:statement
+            ~signature
+        then begin
+          Hashtbl.add seen identity ();
+          acc + 1
+        end
+        else acc)
+      0 sigs
+  in
+  count >= needed
+
+let fi t = t.pbft_cfg.Bp_pbft.Config.f
+
+let verify_transmission t (tr : Record.transmission) =
+  tr.Record.tdest = t.participant
+  && tr.Record.src >= 0
+  && tr.Record.src < t.n_participants
+  && tr.Record.src <> t.participant
+  (* (1) fi+1 signatures from the source unit over the statement *)
+  && valid_sig_bundle t ~from_participant:tr.Record.src
+       ~statement:(Record.transmission_statement tr)
+       ~needed:(fi t + 1) tr.Record.proofs
+  (* (2) not received before and (3) no gap: strictly the next one *)
+  && tr.Record.tcomm_seq = t.last_received.(tr.Record.src) + 1
+  (* (4) with fg > 0, proofs from fg other participants (§V) *)
+  && begin
+       if t.fg = 0 then true
+       else begin
+         let valid_bundles =
+           List.filter
+             (fun (p, sigs) ->
+               p <> tr.Record.src
+               && valid_sig_bundle t ~from_participant:p
+                    ~statement:
+                      (Proto.mirror_statement ~owner:tr.Record.src
+                         ~pos:tr.Record.log_pos
+                         ~digest:
+                           (Bp_crypto.Sha256.digest
+                              (Record.encode
+                                 (Record.Comm
+                                    {
+                                      Record.dest = tr.Record.tdest;
+                                      comm_seq = tr.Record.tcomm_seq;
+                                      payload = tr.Record.tpayload;
+                                    }))))
+                    ~needed:(fi t + 1) sigs)
+             tr.Record.geo_proofs
+         in
+         List.length valid_bundles >= t.fg
+       end
+     end
+
+(* Read markers (§VI-A linearizable reads) are middleware-internal
+   commit records: they order reads but never reach the user protocol. *)
+let is_read_marker payload =
+  String.length payload >= 13 && String.sub payload 0 13 = "_read_marker:"
+
+(* What the user protocol sees of a committed record — shared between
+   live execution and WAL replay so recovery is exact. *)
+let apply_to_app app record =
+  match record with
+  | Record.Mirrored _ -> ()
+  | Record.Commit payload when is_read_marker payload -> ()
+  | Record.Commit _ | Record.Comm _ | Record.Recv _ -> App.apply app record
+
+let wal_image t = Bp_storage.Wal.contents t.wal
+
+let replay ~image ~app =
+  let wal, discarded = Bp_storage.Wal.of_contents image in
+  let count = ref 0 in
+  List.iter
+    (fun encoded ->
+      match Record.decode encoded with
+      | Ok record ->
+          apply_to_app app record;
+          incr count
+      | Error _ -> ())
+    (Bp_storage.Wal.records wal);
+  (!count, if discarded = 0 then Ok () else Error `Corrupt_tail)
+
+let verifier t ~kind ~op =
+  match Record.decode op with
+  | Error _ -> false
+  | Ok record -> (
+      Record.kind_to_int (Record.kind_of record) = kind
+      &&
+      match record with
+      | Record.Recv tr -> verify_transmission t tr && App.verify t.app record
+      | Record.Mirrored _ -> true (* geo failures are benign (§V) *)
+      | Record.Commit payload when is_read_marker payload -> true
+      | Record.Commit _ | Record.Comm _ -> App.verify t.app record)
+
+(* ---------- execution ---------- *)
+
+(* Participants map 1:1 to datacenters, so an address's unit — and hence
+   its aux tag — is its [dc] component. *)
+let send_aux t ~dst msg =
+  Bp_net.Transport.send t.transport ~dst ~tag:(Proto.aux_tag dst.Addr.dc)
+    (Proto.encode msg)
+
+let ack_pending t src =
+  (* Acknowledge and drop every pending transmission at or below the
+     in-order frontier. Cumulative acks. *)
+  let frontier = t.last_received.(src) in
+  let map = Option.value ~default:Int_map.empty (Hashtbl.find_opt t.pending src) in
+  let acked, rest = Int_map.partition (fun seq _ -> seq <= frontier) map in
+  Hashtbl.replace t.pending src rest;
+  Int_map.iter
+    (fun _ { requester; _ } ->
+      send_aux t ~dst:requester
+        (Proto.Ack { from_participant = t.participant; comm_seq = frontier }))
+    acked;
+  (match Hashtbl.find_opt t.submitting src with
+  | Some seq when seq <= frontier -> Hashtbl.remove t.submitting src
+  | _ -> ())
+
+let rec pump_receive t src =
+  if not (Hashtbl.mem t.submitting src) then begin
+    let next = t.last_received.(src) + 1 in
+    let map = Option.value ~default:Int_map.empty (Hashtbl.find_opt t.pending src) in
+    match Int_map.find_opt next map with
+    | None -> ()
+    | Some { txn; _ } ->
+        Hashtbl.replace t.submitting src next;
+        Bp_pbft.Client.submit t.client
+          ~kind:(Record.kind_to_int Record.Received)
+          (Record.encode (Record.Recv txn))
+          ~on_result:(fun result ->
+            (match Hashtbl.find_opt t.submitting src with
+            | Some seq when seq = next -> Hashtbl.remove t.submitting src
+            | _ -> ());
+            if int_of_string_opt result = None then begin
+              (* Rejected (bad proofs / duplicate): drop it for good — an
+                 honest daemon will retransmit a valid copy if one exists. *)
+              let map =
+                Option.value ~default:Int_map.empty (Hashtbl.find_opt t.pending src)
+              in
+              Hashtbl.replace t.pending src (Int_map.remove next map)
+            end;
+            pump_receive t src)
+  end
+
+let submit_record t record ~on_result =
+  Bp_pbft.Client.submit t.client
+    ~kind:(Record.kind_to_int (Record.kind_of record))
+    (Record.encode record) ~on_result
+
+let submit_recv t txn ~on_committed =
+  let src = txn.Record.src in
+  if txn.Record.tcomm_seq <= t.last_received.(src) then on_committed ()
+  else begin
+    Hashtbl.replace t.committed_waiters (src, txn.Record.tcomm_seq) on_committed;
+    let map = Option.value ~default:Int_map.empty (Hashtbl.find_opt t.pending src) in
+    if not (Int_map.mem txn.Record.tcomm_seq map) then
+      Hashtbl.replace t.pending src
+        (Int_map.add txn.Record.tcomm_seq { txn; requester = t.addr } map);
+    pump_receive t src
+  end
+
+let execute t ~seq:_ (r : Bp_pbft.Msg.request) =
+  match Record.decode r.Bp_pbft.Msg.op with
+  | Error msg ->
+      (* Cannot happen for records that passed verification. *)
+      Log.err (fun m -> m "%s: executing undecodable record: %s" (Addr.to_string t.addr) msg);
+      "error"
+  | Ok record ->
+      let entry = Bp_storage.Log_store.append t.log r.Bp_pbft.Msg.op in
+      let pos = entry.Bp_storage.Log_store.index in
+      Bp_storage.Wal.append t.wal r.Bp_pbft.Msg.op;
+      apply_to_app t.app record;
+      (match record with
+      | Record.Recv tr ->
+          let src = tr.Record.src in
+          if tr.Record.tcomm_seq = t.last_received.(src) + 1 then begin
+            t.last_received.(src) <- tr.Record.tcomm_seq;
+            Queue.push tr.Record.tpayload t.reception.(src)
+          end;
+          ack_pending t src;
+          (match Hashtbl.find_opt t.committed_waiters (src, tr.Record.tcomm_seq) with
+          | Some k ->
+              Hashtbl.remove t.committed_waiters (src, tr.Record.tcomm_seq);
+              k ()
+          | None -> ());
+          pump_receive t src
+      | Record.Mirrored { owner; opos; ovalue } ->
+          Hashtbl.replace t.mirror_index (owner, opos)
+            (Bp_crypto.Sha256.digest ovalue)
+      | Record.Commit _ | Record.Comm _ -> ());
+      List.iter (fun hook -> hook ~pos record) t.executed_hooks;
+      string_of_int pos
+
+(* ---------- auxiliary message handling ---------- *)
+
+let sign_transmission t (tr : Record.transmission) =
+  let ok =
+    t.byz_sign_anything
+    ||
+    match Bp_storage.Log_store.get t.log tr.Record.log_pos with
+    | None -> false
+    | Some entry -> (
+        match Record.decode entry.Bp_storage.Log_store.payload with
+        | Ok (Record.Comm { dest; comm_seq; payload }) ->
+            dest = tr.Record.tdest
+            && comm_seq = tr.Record.tcomm_seq
+            && String.equal payload tr.Record.tpayload
+        | _ -> false)
+  in
+  if ok then begin
+    let statement = Record.transmission_statement tr in
+    Some (identity t, Bp_crypto.Signer.sign (keystore t) ~signer:(identity t) statement)
+  end
+  else None
+
+let handle_sign_request t ~src (tr : Record.transmission) =
+  match sign_transmission t tr with
+  | None -> ()
+  | Some (identity, signature) ->
+      send_aux t ~dst:src
+        (Proto.Sign_response
+           {
+             dest = tr.Record.tdest;
+             comm_seq = tr.Record.tcomm_seq;
+             identity;
+             signature;
+           })
+
+let handle_transmit t ~src (tr : Record.transmission) =
+  if tr.Record.tdest = t.participant then begin
+    if tr.Record.tcomm_seq <= t.last_received.(tr.Record.src) then
+      (* Duplicate: cumulative ack so the sender advances. *)
+      send_aux t ~dst:src
+        (Proto.Ack
+           {
+             from_participant = t.participant;
+             comm_seq = t.last_received.(tr.Record.src);
+           })
+    else begin
+      let s = tr.Record.src in
+      let map = Option.value ~default:Int_map.empty (Hashtbl.find_opt t.pending s) in
+      if not (Int_map.mem tr.Record.tcomm_seq map) then
+        Hashtbl.replace t.pending s
+          (Int_map.add tr.Record.tcomm_seq { txn = tr; requester = src } map);
+      pump_receive t s
+    end
+  end
+
+let on_aux t ~src payload =
+  match Proto.decode payload with
+  | Error e -> Log.debug (fun m -> m "%s: bad aux message: %s" (Addr.to_string t.addr) e)
+  | Ok msg -> (
+      match msg with
+      | Proto.Sign_request { transmission } -> handle_sign_request t ~src transmission
+      | Proto.Transmit { transmission } -> handle_transmit t ~src transmission
+      | Proto.Reserve_query { src = from } ->
+          send_aux t ~dst:src
+            (Proto.Reserve_reply { src = from; last = t.last_received.(from) })
+      | Proto.Read_query { pos } ->
+          let payload =
+            Option.map
+              (fun e -> e.Bp_storage.Log_store.payload)
+              (Bp_storage.Log_store.get t.log pos)
+          in
+          send_aux t ~dst:src (Proto.Read_reply { pos; payload })
+      | Proto.Mirror_request _ | Proto.Mirror_sign_request _ -> (
+          match t.geo_handler with Some h -> h ~src msg | None -> ())
+      | Proto.Sign_response _ | Proto.Ack _ | Proto.Reserve_reply _
+      | Proto.Mirror_proof _ | Proto.Mirror_sign_response _
+      | Proto.Read_reply _ ->
+          let rec dispatch = function
+            | [] -> ()
+            | listener :: rest -> if not (listener ~src msg) then dispatch rest
+          in
+          dispatch t.aux_listeners)
+
+let create ~network ~pbft_cfg ~participant ~n_participants ~node_idx ~fg ~app =
+  let addr = pbft_cfg.Bp_pbft.Config.nodes.(node_idx) in
+  let transport = Bp_net.Transport.create network addr in
+  let client = Bp_pbft.Client.create transport pbft_cfg in
+  let t =
+    {
+      net = network;
+      pbft_cfg;
+      participant;
+      n_participants;
+      node_idx;
+      fg;
+      addr;
+      transport;
+      replica = None;
+      client;
+      log = Bp_storage.Log_store.create ();
+      wal = Bp_storage.Wal.create ();
+      app;
+      last_received = Array.make n_participants (-1);
+      reception = Array.init n_participants (fun _ -> Queue.create ());
+      pending = Hashtbl.create 8;
+      submitting = Hashtbl.create 8;
+      committed_waiters = Hashtbl.create 8;
+      executed_hooks = [];
+      aux_listeners = [];
+      geo_handler = None;
+      mirror_index = Hashtbl.create 64;
+      byz_sign_anything = false;
+    }
+  in
+  let replica =
+    Bp_pbft.Replica.create transport pbft_cfg ~id:node_idx
+      ~execute:(fun ~seq r -> execute t ~seq r)
+      ()
+  in
+  Bp_pbft.Replica.set_verifier replica (fun ~kind ~op -> verifier t ~kind ~op);
+  t.replica <- Some replica;
+  Bp_net.Transport.set_handler transport ~tag:(Proto.aux_tag participant)
+    (fun ~src payload -> on_aux t ~src payload);
+  t

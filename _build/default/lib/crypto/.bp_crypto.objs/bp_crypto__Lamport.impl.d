@@ -1,0 +1,1 @@
+lib/crypto/lamport.ml: Array Bp_util Buffer Bytes Char Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/merkle_sig.ml: Array Buffer Char Lamport List Merkle String

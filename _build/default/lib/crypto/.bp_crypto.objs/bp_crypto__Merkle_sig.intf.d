@@ -1,0 +1,1 @@
+lib/crypto/merkle_sig.mli: Bp_util

@@ -1,0 +1,1 @@
+lib/crypto/signer.ml: Bp_util Bytes Hashtbl Hmac List Merkle_sig

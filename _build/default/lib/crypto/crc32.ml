@@ -1,0 +1,29 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xedb88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let empty = 0l
+
+let update crc buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Crc32.update";
+  let table = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xffffffffl) in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get buf i)))) 0xffl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xffffffffl
+
+let bytes buf ~off ~len = update empty buf ~off ~len
+
+let string s = bytes (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+
+    Used by the framing layer to detect in-flight corruption, modelling the
+    paper's reliance on TCP-style checksums. *)
+
+val string : string -> int32
+
+val bytes : bytes -> off:int -> len:int -> int32
+
+val update : int32 -> bytes -> off:int -> len:int -> int32
+(** Incremental: feed successive chunks, starting from {!empty}. *)
+
+val empty : int32
+(** The CRC of the empty string (the initial accumulator). *)

@@ -1,0 +1,24 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\x00'
+
+let xor_pad key byte =
+  String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor byte))
+
+let sha256 ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list [ xor_pad key 0x36; msg ] in
+  Sha256.digest_list [ xor_pad key 0x5c; inner ]
+
+let constant_time_equal a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+       !acc = 0
+     end
+
+let verify ~key ~msg ~tag = constant_time_equal (sha256 ~key msg) tag

@@ -1,0 +1,8 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte HMAC tag. Keys longer than the 64-byte
+    block size are hashed first, per the RFC. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of [tag] against the recomputed tag. *)

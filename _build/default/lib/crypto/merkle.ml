@@ -1,0 +1,54 @@
+type proof = { leaf_index : int; path : (string * [ `Left | `Right ]) list }
+
+let leaf_hash payload = Sha256.digest ("\x00" ^ payload)
+
+let node_hash left right = Sha256.digest_list [ "\x01"; left; right ]
+
+let level_up nodes =
+  let rec pair acc = function
+    | [] -> List.rev acc
+    | [ last ] -> List.rev (last :: acc)
+    | a :: b :: rest -> pair (node_hash a b :: acc) rest
+  in
+  pair [] nodes
+
+let root leaves =
+  let rec climb = function
+    | [] -> leaf_hash ""
+    | [ single ] -> single
+    | nodes -> climb (level_up nodes)
+  in
+  climb (List.map leaf_hash leaves)
+
+let prove leaves i =
+  let n = List.length leaves in
+  if i < 0 || i >= n then invalid_arg "Merkle.prove: index out of range";
+  let rec climb nodes index acc =
+    match nodes with
+    | [] | [ _ ] -> { leaf_index = i; path = List.rev acc }
+    | _ ->
+        let arr = Array.of_list nodes in
+        let sibling, side =
+          if index mod 2 = 0 then
+            if index + 1 < Array.length arr then (Some arr.(index + 1), `Right)
+            else (None, `Right)
+          else (Some arr.(index - 1), `Left)
+        in
+        let acc =
+          match sibling with Some h -> (h, side) :: acc | None -> acc
+        in
+        climb (level_up nodes) (index / 2) acc
+  in
+  climb (List.map leaf_hash leaves) i []
+
+let verify ~root:expected ~leaf proof =
+  let start = leaf_hash leaf in
+  let folded =
+    List.fold_left
+      (fun acc (sibling, side) ->
+        match side with
+        | `Left -> node_hash sibling acc
+        | `Right -> node_hash acc sibling)
+      start proof.path
+  in
+  String.equal folded expected

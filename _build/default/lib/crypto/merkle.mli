@@ -1,0 +1,23 @@
+(** Merkle hash trees with inclusion proofs.
+
+    Leaves and internal nodes use domain-separated SHA-256 (a [\x00] prefix
+    for leaves, [\x01] for internal nodes) so a leaf can never be confused
+    with an internal node. Odd nodes at a level are promoted unchanged. *)
+
+type proof = { leaf_index : int; path : (string * [ `Left | `Right ]) list }
+(** An authentication path: sibling hashes from leaf level to the root,
+    each tagged with the side the sibling sits on. *)
+
+val leaf_hash : string -> string
+
+val root : string list -> string
+(** Root hash of the given leaf payloads. The root of zero leaves is the
+    hash of the empty string under the leaf domain. *)
+
+val prove : string list -> int -> proof
+(** [prove leaves i] builds the inclusion proof for leaf [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val verify : root:string -> leaf:string -> proof -> bool
+(** Check that [leaf]'s payload is included under [root] at the proof's
+    position. *)

@@ -1,0 +1,30 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Used for log digests, Merkle trees, HMAC and the hash-based signature
+    schemes. The implementation processes 64-byte blocks over an
+    incremental context, so large batches can be hashed without copying. *)
+
+type ctx
+(** Mutable hashing context. *)
+
+val init : unit -> ctx
+
+val update : ctx -> string -> unit
+(** Absorb the whole string. *)
+
+val update_bytes : ctx -> bytes -> off:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** Produce the 32-byte digest. The context must not be reused after. *)
+
+val digest : string -> string
+(** One-shot hash of a string; 32 raw bytes. *)
+
+val digest_list : string list -> string
+(** Hash of the concatenation, without building the concatenation. *)
+
+val hex : string -> string
+(** [hex s] is the lowercase-hex SHA-256 of [s]. *)
+
+val digest_length : int
+(** 32. *)

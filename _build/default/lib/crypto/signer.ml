@@ -1,0 +1,62 @@
+type scheme = [ `Hmac | `Hash_based ]
+
+type hash_identity = {
+  mutable current : Merkle_sig.signer;
+  mutable roots : string list; (* all published roots, newest first *)
+}
+
+type identity =
+  | Hmac_secret of string
+  | Hash_keys of hash_identity
+
+type t = {
+  scheme : scheme;
+  rng : Bp_util.Rng.t;
+  identities : (string, identity) Hashtbl.t;
+}
+
+let create ?(scheme = `Hmac) rng = { scheme; rng; identities = Hashtbl.create 64 }
+
+let scheme t = t.scheme
+
+(* 64 one-time keys per pool; pools are rolled over transparently when
+   exhausted, modelling key rotation. *)
+let pool_height = 6
+
+let add_identity t id =
+  if not (Hashtbl.mem t.identities id) then
+    let entry =
+      match t.scheme with
+      | `Hmac -> Hmac_secret (Bytes.to_string (Bp_util.Rng.bytes t.rng 32))
+      | `Hash_based ->
+          let signer, root = Merkle_sig.keygen ~height:pool_height t.rng in
+          Hash_keys { current = signer; roots = [ root ] }
+    in
+    Hashtbl.add t.identities id entry
+
+let sign t ~signer msg =
+  match Hashtbl.find t.identities signer with
+  | Hmac_secret secret -> Hmac.sha256 ~key:secret msg
+  | Hash_keys keys ->
+      if Merkle_sig.capacity keys.current = 0 then begin
+        let fresh, root = Merkle_sig.keygen ~height:pool_height t.rng in
+        keys.current <- fresh;
+        keys.roots <- root :: keys.roots
+      end;
+      Merkle_sig.encode (Merkle_sig.sign keys.current msg)
+
+let verify t ~signer ~msg ~signature =
+  match Hashtbl.find_opt t.identities signer with
+  | None -> false
+  | Some (Hmac_secret secret) -> Hmac.verify ~key:secret ~msg ~tag:signature
+  | Some (Hash_keys keys) -> (
+      match Merkle_sig.decode signature with
+      | None -> false
+      | Some s -> List.exists (fun root -> Merkle_sig.verify root msg s) keys.roots)
+
+let signature_overhead t =
+  match t.scheme with
+  | `Hmac -> 32
+  | `Hash_based ->
+      (* index + path-count + path entries + leaf pk + Lamport signature *)
+      4 + (pool_height * 33) + 32 + (2 * 256 * 32)

@@ -1,0 +1,1 @@
+lib/harness/exp_ablation.ml: Api App Blockplane Bp_sim Bp_util Deployment Engine Int64 List Network Printf Queue Record Report Runner Stdlib Time Topology Workload

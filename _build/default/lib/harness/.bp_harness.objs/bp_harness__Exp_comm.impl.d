@@ -1,0 +1,1 @@
+lib/harness/exp_comm.ml: Api Blockplane Bp_sim Bp_util Comm_daemon Deployment Engine Hashtbl Int64 List Printf Report Runner String Time Topology

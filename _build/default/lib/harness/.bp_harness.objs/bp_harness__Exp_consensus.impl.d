@@ -1,0 +1,1 @@
+lib/harness/exp_consensus.ml: Addr Array Blockplane Bp_apps Bp_crypto Bp_net Bp_paxos Bp_pbft Bp_sim Bp_util Engine Int64 List Network Printf Report Runner Time Topology

@@ -1,0 +1,1 @@
+lib/harness/exp_costs.ml: Api App Blockplane Bp_sim Deployment Engine Int64 List Network Printf Report Runner Time Topology

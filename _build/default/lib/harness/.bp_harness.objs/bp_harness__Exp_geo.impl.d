@@ -1,0 +1,1 @@
+lib/harness/exp_geo.ml: Addr Api Array Blockplane Bp_net Bp_sim Bp_util Deployment Engine Int64 List Network Printf Report Runner Stdlib String Time Topology

@@ -1,0 +1,1 @@
+lib/harness/exp_local.ml: Api Blockplane Bp_sim Bp_util Deployment Engine Int64 List Printf Report Runner Stdlib Time

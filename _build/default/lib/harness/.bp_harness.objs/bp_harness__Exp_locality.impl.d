@@ -1,0 +1,1 @@
+lib/harness/exp_locality.ml: Addr Array Blockplane Bp_apps Bp_crypto Bp_net Bp_pbft Bp_sim Bp_util Engine Network Printf Report Runner Time Topology

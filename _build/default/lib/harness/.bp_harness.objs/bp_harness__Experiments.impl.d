@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Exp_ablation Exp_comm Exp_consensus Exp_costs Exp_geo Exp_local Exp_locality List Report String

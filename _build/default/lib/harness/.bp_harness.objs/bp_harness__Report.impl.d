@@ -1,0 +1,1 @@
+lib/harness/report.ml: Bp_util Buffer List Printf

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Blockplane Bp_sim Bp_util Bytes Engine Float Network Printf Stdlib String Topology

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Blockplane Bp_sim Bp_util

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Bp_sim Bp_util Engine Option Time

@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Bp_sim Bp_util

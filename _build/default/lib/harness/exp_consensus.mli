@@ -1,0 +1,5 @@
+(** §VIII-D (Fig. 7) — global consensus: the Replication-phase latency of
+    Blockplane-Paxos against plain Paxos, flat geo-PBFT and Hierarchical
+    PBFT, with the leader placed at each of the four datacenters. *)
+
+val fig7 : ?scale:float -> unit -> Report.t list

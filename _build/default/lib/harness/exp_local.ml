@@ -1,0 +1,111 @@
+open Bp_sim
+open Blockplane
+
+(* A deployment with one participant measures pure local commitment: no
+   wide-area traffic is involved (§VIII-A runs in Virginia alone). *)
+let local_world ~fi ~seed = Runner.fresh_world ~fi ~seed ~n_participants:1 ()
+
+let commit_loop world ~size ~n ~warmup =
+  let api = Deployment.api world.Runner.dep 0 in
+  Runner.sequential world.Runner.engine ~n ~warmup ~run_one:(fun i ~on_done ->
+      let started = Engine.now world.Runner.engine in
+      Api.log_commit api (Runner.payload ~size i) ~on_done:(fun () ->
+          on_done (Time.to_ms (Time.diff (Engine.now world.Runner.engine) started))))
+
+(* size (KB), measured batches, paper latency (ms), paper throughput (MB/s).
+   Paper numbers from the §VIII-A text; "-" where the figure is not read
+   out numerically in the text. *)
+let fig4_points =
+  [
+    (1, 100, "<1", "~1.4");
+    (10, 100, "<1", "-");
+    (100, 100, "~1.2", "83");
+    (500, 50, "-", "-");
+    (1000, 30, "4.5", "~215");
+    (2000, 20, "8.2", "~240");
+  ]
+
+let fig4 ?(scale = 1.0) () =
+  let results =
+    List.map
+      (fun (kb, batches, paper_lat, paper_thr) ->
+        let world = local_world ~fi:1 ~seed:(Int64.of_int (1000 + kb)) in
+        let n = Runner.scaled scale batches in
+        let warmup = Stdlib.max 1 (n / 10) in
+        let stats = commit_loop world ~size:(kb * 1000) ~n ~warmup in
+        let mean_ms = Bp_util.Stats.mean stats in
+        (* Group commit, one batch at a time: throughput = size/latency. *)
+        let throughput_mbps = float_of_int kb /. 1000.0 /. (mean_ms /. 1000.0) in
+        (kb, mean_ms, throughput_mbps, paper_lat, paper_thr))
+      fig4_points
+  in
+  let lat_rows =
+    List.map
+      (fun (kb, mean_ms, _, paper_lat, _) ->
+        [ Printf.sprintf "%d KB" kb; Report.ms mean_ms; paper_lat ])
+      results
+  in
+  let thr_rows =
+    List.map
+      (fun (kb, _, thr, _, paper_thr) ->
+        [ Printf.sprintf "%d KB" kb; Report.mbps thr; paper_thr ])
+      results
+  in
+  [
+    {
+      Report.id = "fig4a";
+      title = "Local commitment latency vs batch size";
+      paper_ref = "Fig. 4(a), SVIII-A: Virginia, fi=1, 4 nodes";
+      header = [ "batch size"; "latency ms (measured)"; "latency ms (paper)" ];
+      rows = lat_rows;
+      notes =
+        [
+          "expected shape: ~1 ms up to 100 KB, then growing with NIC serialization";
+        ];
+    };
+    {
+      Report.id = "fig4b";
+      title = "Local commitment throughput vs batch size";
+      paper_ref = "Fig. 4(b), SVIII-A";
+      header = [ "batch size"; "MB/s (measured)"; "MB/s (paper)" ];
+      rows = thr_rows;
+      notes =
+        [
+          "expected shape: steep growth to 100 KB (~60x from 1 KB), +~160% to 1 MB, ~+10% to 2 MB";
+        ];
+    };
+  ]
+
+let table2_points =
+  [ (1, "83", "1.2"); (2, "51", "1.9"); (3, "28", "3.5"); (4, "25", "4") ]
+
+let table2 ?(scale = 1.0) () =
+  let rows =
+    List.map
+      (fun (fi, paper_thr, paper_lat) ->
+        let world = local_world ~fi ~seed:(Int64.of_int (2000 + fi)) in
+        let n = Runner.scaled scale 50 in
+        let warmup = Stdlib.max 1 (n / 10) in
+        let stats = commit_loop world ~size:100_000 ~n ~warmup in
+        let mean_ms = Bp_util.Stats.mean stats in
+        let thr = 0.1 /. (mean_ms /. 1000.0) in
+        [
+          Printf.sprintf "%d (fi=%d)" ((3 * fi) + 1) fi;
+          Report.mbps thr;
+          paper_thr;
+          Report.ms mean_ms;
+          paper_lat;
+        ])
+      table2_points
+  in
+  [
+    {
+      Report.id = "table2";
+      title = "Local commitment vs unit size (batch 100 KB)";
+      paper_ref = "Table II, SVIII-A";
+      header =
+        [ "nodes"; "MB/s (measured)"; "MB/s (paper)"; "ms (measured)"; "ms (paper)" ];
+      rows;
+      notes = [ "expected shape: throughput falls and latency rises with n" ];
+    };
+  ]

@@ -1,0 +1,11 @@
+(** §VIII-A — local commitment performance.
+
+    Fig. 4(a)/(b): latency and throughput of [log-commit] while varying
+    the batch size (single datacenter, fi = 1).
+    Table II: the same at 100 KB while varying the unit size
+    n ∈ {4, 7, 10, 13} (fi 1..4). *)
+
+val fig4 : ?scale:float -> unit -> Report.t list
+(** Returns the fig4a (latency) and fig4b (throughput) reports. *)
+
+val table2 : ?scale:float -> unit -> Report.t list

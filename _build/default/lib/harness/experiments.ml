@@ -1,0 +1,84 @@
+type t = {
+  id : string;
+  title : string;
+  run : scale:float -> Report.t list;
+}
+
+let all =
+  [
+    {
+      id = "table1";
+      title = "RTT matrix between the four datacenters (simulator input)";
+      run = (fun ~scale:_ -> Exp_comm.table1 ());
+    };
+    {
+      id = "fig4";
+      title = "Local commitment latency/throughput vs batch size";
+      run = (fun ~scale -> Exp_local.fig4 ~scale ());
+    };
+    {
+      id = "table2";
+      title = "Local commitment vs number of nodes";
+      run = (fun ~scale -> Exp_local.table2 ~scale ());
+    };
+    {
+      id = "fig5";
+      title = "Geo-correlated fault tolerance latency";
+      run = (fun ~scale -> Exp_geo.fig5 ~scale ());
+    };
+    {
+      id = "fig6";
+      title = "Communication latency between participants";
+      run = (fun ~scale -> Exp_comm.fig6 ~scale ());
+    };
+    {
+      id = "fig7";
+      title = "Byzantized paxos vs baselines";
+      run = (fun ~scale -> Exp_consensus.fig7 ~scale ());
+    };
+    {
+      id = "fig8";
+      title = "Reacting to failures";
+      run = (fun ~scale -> Exp_geo.fig8 ~scale ());
+    };
+    (* Ablations beyond the paper's figures. *)
+    {
+      id = "ablation-reads";
+      title = "Read strategies (SVI-A) latency";
+      run = (fun ~scale -> Exp_ablation.reads ~scale ());
+    };
+    {
+      id = "ablation-batch";
+      title = "Group commit (SVI-C) on/off";
+      run = (fun ~scale -> Exp_ablation.batching ~scale ());
+    };
+    {
+      id = "ablation-sig";
+      title = "HMAC vs hash-based signatures";
+      run = (fun ~scale -> Exp_ablation.signatures ~scale ());
+    };
+    {
+      id = "ablation-loss";
+      title = "Commit latency under packet loss";
+      run = (fun ~scale -> Exp_ablation.loss ~scale ());
+    };
+    {
+      id = "ablation-load";
+      title = "Offered load vs latency (open loop)";
+      run = (fun ~scale -> Exp_ablation.load ~scale ());
+    };
+    {
+      id = "locality";
+      title = "Intra-DC vs wide-area traffic share (SIII-A)";
+      run = (fun ~scale -> Exp_locality.locality ~scale ());
+    };
+    {
+      id = "costs";
+      title = "Resource costs of byzantizing (SVI-D)";
+      run = (fun ~scale -> Exp_costs.costs ~scale ());
+    };
+  ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+
+let run_all ?(scale = 1.0) () = List.concat_map (fun e -> e.run ~scale) all

@@ -1,0 +1,15 @@
+(** The experiment registry: every table and figure of §VIII, by id. *)
+
+type t = {
+  id : string;
+  title : string;
+  run : scale:float -> Report.t list;
+}
+
+val all : t list
+(** In paper order: table1, fig4, table2, fig5, fig6, fig7, fig8 — then
+    the ablations (ablation-reads, -batch, -sig, -loss). *)
+
+val find : string -> t option
+
+val run_all : ?scale:float -> unit -> Report.t list

@@ -1,0 +1,49 @@
+open Bp_sim
+
+type world = {
+  engine : Engine.t;
+  net : Network.t;
+  dep : Blockplane.Deployment.t;
+}
+
+let fresh_world ?(fi = 1) ?(fg = 0) ?(seed = 4242L) ?(n_participants = 4)
+    ?(app = fun () -> Blockplane.App.make (module Blockplane.App.Null)) () =
+  let engine = Engine.create ~seed () in
+  let net = Network.create engine Topology.aws_paper () in
+  let dep = Blockplane.Deployment.create ~network:net ~n_participants ~fi ~fg ~app () in
+  { engine; net; dep }
+
+let payload ~size i =
+  if size <= 0 then ""
+  else begin
+    let stamp = Printf.sprintf "batch-%d;" i in
+    let b = Bytes.make size 'x' in
+    Bytes.blit_string stamp 0 b 0 (Stdlib.min (String.length stamp) size);
+    Bytes.unsafe_to_string b
+  end
+
+let sequential engine ~n ~warmup ~run_one =
+  let stats = Bp_util.Stats.create () in
+  let total = warmup + n in
+  let finished = ref false in
+  let rec go i =
+    if i >= total then finished := true
+    else
+      run_one i ~on_done:(fun latency_ms ->
+          if i >= warmup then Bp_util.Stats.add stats latency_ms;
+          go (i + 1))
+  in
+  go 0;
+  (* Step until the workload completes — the deployment's periodic timers
+     (reserve probes, daemon retries) never drain the queue on their own. *)
+  let guard = ref 0 in
+  while (not !finished) && Engine.step engine do
+    incr guard;
+    if !guard > 200_000_000 then
+      failwith "Runner.sequential: runaway simulation"
+  done;
+  if not !finished then
+    failwith "Runner.sequential: workload did not finish (deadlock in protocol?)";
+  stats
+
+let scaled s n = Stdlib.max 1 (int_of_float (Float.round (s *. float_of_int n)))

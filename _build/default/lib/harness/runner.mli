@@ -1,0 +1,35 @@
+(** Shared experiment machinery: deterministic worlds over the paper's
+    AWS topology and CPS-style measurement loops (the simulator is
+    event-driven, so sequential workloads are chained through callbacks). *)
+
+type world = {
+  engine : Bp_sim.Engine.t;
+  net : Bp_sim.Network.t;
+  dep : Blockplane.Deployment.t;
+}
+
+val fresh_world :
+  ?fi:int ->
+  ?fg:int ->
+  ?seed:int64 ->
+  ?n_participants:int ->
+  ?app:(unit -> Blockplane.App.instance) ->
+  unit ->
+  world
+
+val payload : size:int -> int -> string
+(** Deterministic batch contents of the given byte size (the index makes
+    successive batches distinct). *)
+
+val sequential :
+  Bp_sim.Engine.t ->
+  n:int ->
+  warmup:int ->
+  run_one:(int -> on_done:(float -> unit) -> unit) ->
+  Bp_util.Stats.t
+(** Run [warmup + n] operations strictly one after another; [run_one i]
+    must eventually call [on_done latency_ms]. Returns the statistics of
+    the measured (post-warmup) operations. Drives the engine itself. *)
+
+val scaled : float -> int -> int
+(** [scaled s n] = max 1 (round (s * n)) — workload scaling. *)

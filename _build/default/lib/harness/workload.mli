@@ -1,0 +1,25 @@
+(** Workload generators.
+
+    {!Runner.sequential} drives closed-loop (one-at-a-time) workloads —
+    what the paper's latency experiments use. This module adds an
+    open-loop generator: arrivals follow a Poisson process at a fixed
+    offered rate, regardless of completions, which is what exposes
+    queueing behaviour and the saturation knee of group commit. *)
+
+type result = {
+  latencies : Bp_util.Stats.t;  (** per-request completion latency, ms *)
+  makespan_ms : float;  (** first arrival to last completion *)
+  achieved_per_sec : float;  (** completions / makespan *)
+}
+
+val open_loop :
+  Bp_sim.Engine.t ->
+  rng:Bp_util.Rng.t ->
+  rate_per_sec:float ->
+  count:int ->
+  submit:(int -> on_done:(unit -> unit) -> unit) ->
+  result
+(** Schedule [count] arrivals with exponential inter-arrival times at the
+    given rate; [submit i ~on_done] fires each request and must call
+    [on_done] at completion. Drives the engine until all requests
+    complete (fails after a long virtual-time guard). *)

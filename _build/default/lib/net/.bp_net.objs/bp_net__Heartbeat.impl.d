@@ -1,0 +1,1 @@
+lib/net/heartbeat.ml: Addr Bp_sim Engine List Network Time Transport

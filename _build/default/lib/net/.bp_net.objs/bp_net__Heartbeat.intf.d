@@ -1,0 +1,1 @@
+lib/net/heartbeat.mli: Bp_sim Transport

@@ -1,0 +1,1 @@
+lib/net/transport.ml: Addr Bp_codec Bp_sim Engine Float Hashtbl Int Logs Map Network Printf Stdlib Time Topology

@@ -1,0 +1,1 @@
+lib/net/transport.mli: Bp_sim

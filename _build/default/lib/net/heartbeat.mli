@@ -1,0 +1,29 @@
+(** Heartbeat-based failure detector.
+
+    Periodically pings peers (unreliably — losing a heartbeat must not
+    trigger retransmission storms) and raises suspicion when no pong has
+    been heard for [timeout]. Used by the geo-correlated layer to detect a
+    failed primary participant, and by tests. *)
+
+type t
+
+val serve : Transport.t -> unit
+(** Install the ping-responder on a node that is monitored but does not
+    itself monitor anyone. {!create} installs it implicitly. *)
+
+val create :
+  Transport.t ->
+  peers:Bp_sim.Addr.t list ->
+  period:Bp_sim.Time.t ->
+  timeout:Bp_sim.Time.t ->
+  on_suspect:(Bp_sim.Addr.t -> unit) ->
+  ?on_restore:(Bp_sim.Addr.t -> unit) ->
+  unit ->
+  t
+(** Installs handlers on the transport (tags ["_hb.ping"]/["_hb.pong"]) and
+    starts the ping/check timers. [on_suspect] fires once per downtime
+    episode; [on_restore] fires when a suspected peer is heard again. *)
+
+val suspected : t -> Bp_sim.Addr.t -> bool
+
+val stop : t -> unit

@@ -1,0 +1,242 @@
+open Bp_sim
+
+let log = Logs.Src.create "bp.net" ~doc:"Blockplane transport"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+module Int_map = Map.Make (Int)
+
+type packet =
+  | Unreliable of { tag : string; payload : string }
+  | Data of { seq : int; tag : string; payload : string }
+  | Ack of { next_expected : int }
+
+let encode_packet p =
+  Bp_codec.Wire.encode (fun e ->
+      match p with
+      | Unreliable { tag; payload } ->
+          Bp_codec.Wire.u8 e 0;
+          Bp_codec.Wire.string e tag;
+          Bp_codec.Wire.string e payload
+      | Data { seq; tag; payload } ->
+          Bp_codec.Wire.u8 e 1;
+          Bp_codec.Wire.varint e seq;
+          Bp_codec.Wire.string e tag;
+          Bp_codec.Wire.string e payload
+      | Ack { next_expected } ->
+          Bp_codec.Wire.u8 e 2;
+          Bp_codec.Wire.varint e next_expected)
+
+let decode_packet s =
+  Bp_codec.Wire.decode s (fun d ->
+      match Bp_codec.Wire.read_u8 d with
+      | 0 ->
+          let tag = Bp_codec.Wire.read_string d in
+          let payload = Bp_codec.Wire.read_string d in
+          Unreliable { tag; payload }
+      | 1 ->
+          let seq = Bp_codec.Wire.read_varint d in
+          let tag = Bp_codec.Wire.read_string d in
+          let payload = Bp_codec.Wire.read_string d in
+          Data { seq; tag; payload }
+      | 2 -> Ack { next_expected = Bp_codec.Wire.read_varint d }
+      | n -> raise (Bp_codec.Wire.Malformed (Printf.sprintf "packet kind %d" n)))
+
+type peer = {
+  remote : Addr.t;
+  mutable next_send_seq : int;
+  mutable unacked : (string * string) Int_map.t; (* seq -> tag, payload *)
+  mutable retransmit : Engine.timer option;
+  mutable next_recv_seq : int;
+  mutable reorder_buffer : (string * string) Int_map.t;
+  mutable send_times : Time.t Int_map.t; (* first-transmission times (Karn) *)
+  mutable srtt : Time.t option; (* smoothed round-trip estimate *)
+  mutable backoff : int; (* exponential RTO backoff (resets on a sample) *)
+}
+
+type t = {
+  net : Network.t;
+  engine : Engine.t;
+  self : Addr.t;
+  handlers : (string, src:Addr.t -> string -> unit) Hashtbl.t;
+  peers : peer Addr.Tbl.t;
+  mutable retransmissions : int;
+  mutable discarded : int;
+  mutable stopped : bool;
+}
+
+let addr t = t.self
+let network t = t.net
+
+let peer_of t remote =
+  match Addr.Tbl.find_opt t.peers remote with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          remote;
+          next_send_seq = 0;
+          unacked = Int_map.empty;
+          retransmit = None;
+          next_recv_seq = 0;
+          reorder_buffer = Int_map.empty;
+          send_times = Int_map.empty;
+          srtt = None;
+          backoff = 0;
+        }
+      in
+      Addr.Tbl.add t.peers remote p;
+      p
+
+(* Adaptive retransmission timeout: the static floor covers propagation,
+   while the smoothed RTT sample absorbs NIC serialization of large
+   payloads (a 2 MB batch ahead of the ack must not trigger a spurious
+   retransmission storm). *)
+let rto t p =
+  let topo = Network.topology t.net in
+  let rtt = Topology.rtt topo t.self.Addr.dc p.remote.Addr.dc in
+  let static = Time.add (Time.scale rtt 2.5) (Time.of_ms 5.0) in
+  let base =
+    match p.srtt with
+    | None -> static
+    | Some srtt -> Time.max static (Time.add (Time.scale srtt 3.0) (Time.of_ms 2.0))
+  in
+  (* Exponential backoff escapes the Karn deadlock: without it, a segment
+     whose transfer time exceeds the static RTO would be retransmitted
+     forever and never yield an RTT sample. *)
+  Time.scale base (Float.of_int (1 lsl Stdlib.min p.backoff 6))
+
+let raw_send t ~dst packet =
+  Network.send t.net ~src:t.self ~dst (Bp_codec.Frame.seal (encode_packet packet))
+
+let rec arm_retransmit t p =
+  match p.retransmit with
+  | Some _ -> ()
+  | None ->
+      if not t.stopped then
+        let timer =
+          Engine.schedule t.engine ~after:(rto t p) (fun () ->
+              p.retransmit <- None;
+              if not (Int_map.is_empty p.unacked) then begin
+                p.backoff <- p.backoff + 1;
+                Int_map.iter
+                  (fun seq (tag, payload) ->
+                    t.retransmissions <- t.retransmissions + 1;
+                    (* Karn: retransmitted segments never produce RTT
+                       samples. *)
+                    p.send_times <- Int_map.remove seq p.send_times;
+                    raw_send t ~dst:p.remote (Data { seq; tag; payload }))
+                  p.unacked;
+                arm_retransmit t p
+              end)
+        in
+        p.retransmit <- Some timer
+
+let dispatch t ~src ~tag payload =
+  match Hashtbl.find_opt t.handlers tag with
+  | Some h -> h ~src payload
+  | None ->
+      Log.debug (fun m ->
+          m "%s: no handler for tag %S (from %s)" (Addr.to_string t.self) tag
+            (Addr.to_string src))
+
+let handle_data t p ~src ~seq ~tag payload =
+  if seq < p.next_recv_seq then
+    (* Duplicate of something already delivered: just re-ack. *)
+    raw_send t ~dst:src (Ack { next_expected = p.next_recv_seq })
+  else begin
+    if not (Int_map.mem seq p.reorder_buffer) then
+      p.reorder_buffer <- Int_map.add seq (tag, payload) p.reorder_buffer;
+    (* Drain any in-order prefix. *)
+    let rec drain () =
+      match Int_map.find_opt p.next_recv_seq p.reorder_buffer with
+      | Some (tag, payload) ->
+          p.reorder_buffer <- Int_map.remove p.next_recv_seq p.reorder_buffer;
+          p.next_recv_seq <- p.next_recv_seq + 1;
+          dispatch t ~src ~tag payload;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    raw_send t ~dst:src (Ack { next_expected = p.next_recv_seq })
+  end
+
+let handle_ack t p ~next_expected =
+  (* RTT samples from first-transmission times of newly acked segments. *)
+  let now = Engine.now t.engine in
+  Int_map.iter
+    (fun seq sent_at ->
+      if seq < next_expected then begin
+        let sample = Time.diff now sent_at in
+        let smoothed =
+          match p.srtt with
+          | None -> sample
+          | Some srtt ->
+              Time.of_ns (((7 * Time.to_ns srtt) + Time.to_ns sample) / 8)
+        in
+        p.srtt <- Some smoothed;
+        p.backoff <- 0
+      end)
+    p.send_times;
+  p.send_times <- Int_map.filter (fun seq _ -> seq >= next_expected) p.send_times;
+  p.unacked <- Int_map.filter (fun seq _ -> seq >= next_expected) p.unacked
+(* The retransmit timer stays armed; it self-disarms when it finds the
+   unacked map empty. *)
+
+let on_frame t ~src frame =
+  match Bp_codec.Frame.unseal frame with
+  | Error (`Corrupt | `Malformed) -> t.discarded <- t.discarded + 1
+  | Ok body -> (
+      match decode_packet body with
+      | Error _ -> t.discarded <- t.discarded + 1
+      | Ok (Unreliable { tag; payload }) -> dispatch t ~src ~tag payload
+      | Ok (Data { seq; tag; payload }) ->
+          handle_data t (peer_of t src) ~src ~seq ~tag payload
+      | Ok (Ack { next_expected }) -> handle_ack t (peer_of t src) ~next_expected)
+
+let create net self =
+  let t =
+    {
+      net;
+      engine = Network.engine net;
+      self;
+      handlers = Hashtbl.create 8;
+      peers = Addr.Tbl.create 16;
+      retransmissions = 0;
+      discarded = 0;
+      stopped = false;
+    }
+  in
+  Network.register net self (fun ~src frame -> on_frame t ~src frame);
+  t
+
+let set_handler t ~tag handler = Hashtbl.replace t.handlers tag handler
+let clear_handler t ~tag = Hashtbl.remove t.handlers tag
+
+let send t ?(reliable = true) ~dst ~tag payload =
+  if Addr.equal dst t.self then
+    (* Loop-back: deliver asynchronously (keeping run-to-completion event
+       semantics) without touching the network. *)
+    ignore
+      (Engine.schedule t.engine ~after:Time.zero (fun () ->
+           dispatch t ~src:t.self ~tag payload))
+  else if not reliable then raw_send t ~dst (Unreliable { tag; payload })
+  else begin
+    let p = peer_of t dst in
+    let seq = p.next_send_seq in
+    p.next_send_seq <- seq + 1;
+    p.unacked <- Int_map.add seq (tag, payload) p.unacked;
+    p.send_times <- Int_map.add seq (Engine.now t.engine) p.send_times;
+    raw_send t ~dst (Data { seq; tag; payload });
+    arm_retransmit t p
+  end
+
+let stop t =
+  t.stopped <- true;
+  Addr.Tbl.iter
+    (fun _ p ->
+      (match p.retransmit with Some timer -> Engine.cancel timer | None -> ());
+      p.retransmit <- None)
+    t.peers
+
+let stats t = (t.retransmissions, t.discarded)

@@ -1,0 +1,37 @@
+(** Per-node transport endpoint over the lossy datagram network.
+
+    Adds what the paper assumes from TCP (§III-B): corruption detection
+    (CRC frames — corrupted packets are discarded), de-duplication,
+    ordering and retransmission. Each pair of endpoints shares one
+    reliable, FIFO byte stream; application messages are multiplexed on it
+    by [tag], so a node can run PBFT, communication daemons and reserve
+    probes over one connection, as separate handlers.
+
+    An [unreliable] mode bypasses retransmission for traffic that tolerates
+    loss (heartbeats). *)
+
+type t
+
+val create : Bp_sim.Network.t -> Bp_sim.Addr.t -> t
+(** Registers the address on the network.
+    @raise Invalid_argument if already registered. *)
+
+val addr : t -> Bp_sim.Addr.t
+val network : t -> Bp_sim.Network.t
+
+val set_handler : t -> tag:string -> (src:Bp_sim.Addr.t -> string -> unit) -> unit
+(** Replaces any previous handler for the tag. *)
+
+val clear_handler : t -> tag:string -> unit
+
+val send : t -> ?reliable:bool -> dst:Bp_sim.Addr.t -> tag:string -> string -> unit
+(** [reliable] defaults to [true]. Reliable messages are delivered exactly
+    once, in per-peer FIFO order, as long as both nodes stay up and the
+    link is eventually non-lossy. Unreliable messages may be lost,
+    duplicated (never corrupted — frames catch that) or reordered. *)
+
+val stop : t -> unit
+(** Cancel all retransmission timers (used at controlled shutdown). *)
+
+val stats : t -> int * int
+(** (retransmissions, discarded corrupt/malformed frames). *)

@@ -1,0 +1,1 @@
+lib/paxos/ballot.ml: Bp_codec Format Int

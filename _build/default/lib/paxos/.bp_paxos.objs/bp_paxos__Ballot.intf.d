@@ -1,0 +1,1 @@
+lib/paxos/ballot.mli: Bp_codec Format

@@ -1,0 +1,1 @@
+lib/paxos/msg.ml: Ballot Bp_codec Printf Wire

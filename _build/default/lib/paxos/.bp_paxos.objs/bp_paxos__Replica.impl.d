@@ -1,0 +1,1 @@
+lib/paxos/replica.ml: Addr Array Ballot Bp_net Bp_sim Bp_util Engine Hashtbl Int List Logs Map Msg Network Set Stdlib String Time

@@ -1,0 +1,1 @@
+lib/paxos/replica.mli: Bp_net Bp_sim

@@ -1,0 +1,23 @@
+type t = { round : int; node : int }
+
+let zero = { round = 0; node = -1 }
+let next b ~node = { round = b.round + 1; node }
+
+let compare a b =
+  let c = Int.compare a.round b.round in
+  if c <> 0 then c else Int.compare a.node b.node
+
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let equal a b = compare a b = 0
+
+let encode e b =
+  Bp_codec.Wire.varint e b.round;
+  Bp_codec.Wire.zigzag e b.node
+
+let decode d =
+  let round = Bp_codec.Wire.read_varint d in
+  let node = Bp_codec.Wire.read_zigzag d in
+  { round; node }
+
+let pp ppf b = Format.fprintf ppf "(%d.%d)" b.round b.node

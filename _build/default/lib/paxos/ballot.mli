@@ -1,0 +1,19 @@
+(** Paxos ballot numbers: a round counter paired with the proposer's node
+    id, so ballots from distinct nodes never tie. *)
+
+type t = { round : int; node : int }
+
+val zero : t
+(** Smaller than any real ballot. *)
+
+val next : t -> node:int -> t
+(** First ballot of the next round owned by [node]. *)
+
+val compare : t -> t -> int
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val equal : t -> t -> bool
+
+val encode : Bp_codec.Wire.encoder -> t -> unit
+val decode : Bp_codec.Wire.decoder -> t
+val pp : Format.formatter -> t -> unit

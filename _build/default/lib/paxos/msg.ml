@@ -1,0 +1,74 @@
+open Bp_codec
+
+type accepted_entry = { instance : int; ballot : Ballot.t; value : string }
+
+type t =
+  | Prepare of { ballot : Ballot.t; from_instance : int }
+  | Promise of { ballot : Ballot.t; ok : bool; accepted : accepted_entry list }
+  | Propose of { ballot : Ballot.t; instance : int; value : string }
+  | Accepted of { ballot : Ballot.t; instance : int; ok : bool }
+  | Learn of { instance : int; value : string }
+
+let tag = "paxos"
+
+let encode m =
+  Wire.encode (fun e ->
+      match m with
+      | Prepare { ballot; from_instance } ->
+          Wire.u8 e 0;
+          Ballot.encode e ballot;
+          Wire.varint e from_instance
+      | Promise { ballot; ok; accepted } ->
+          Wire.u8 e 1;
+          Ballot.encode e ballot;
+          Wire.bool e ok;
+          Wire.list e
+            (fun { instance; ballot; value } ->
+              Wire.varint e instance;
+              Ballot.encode e ballot;
+              Wire.string e value)
+            accepted
+      | Propose { ballot; instance; value } ->
+          Wire.u8 e 2;
+          Ballot.encode e ballot;
+          Wire.varint e instance;
+          Wire.string e value
+      | Accepted { ballot; instance; ok } ->
+          Wire.u8 e 3;
+          Ballot.encode e ballot;
+          Wire.varint e instance;
+          Wire.bool e ok
+      | Learn { instance; value } ->
+          Wire.u8 e 4;
+          Wire.varint e instance;
+          Wire.string e value)
+
+let decode s =
+  Wire.decode s (fun d ->
+      match Wire.read_u8 d with
+      | 0 ->
+          let ballot = Ballot.decode d in
+          Prepare { ballot; from_instance = Wire.read_varint d }
+      | 1 ->
+          let ballot = Ballot.decode d in
+          let ok = Wire.read_bool d in
+          let accepted =
+            Wire.read_list d (fun d ->
+                let instance = Wire.read_varint d in
+                let ballot = Ballot.decode d in
+                let value = Wire.read_string d in
+                { instance; ballot; value })
+          in
+          Promise { ballot; ok; accepted }
+      | 2 ->
+          let ballot = Ballot.decode d in
+          let instance = Wire.read_varint d in
+          Propose { ballot; instance; value = Wire.read_string d }
+      | 3 ->
+          let ballot = Ballot.decode d in
+          let instance = Wire.read_varint d in
+          Accepted { ballot; instance; ok = Wire.read_bool d }
+      | 4 ->
+          let instance = Wire.read_varint d in
+          Learn { instance; value = Wire.read_string d }
+      | n -> raise (Wire.Malformed (Printf.sprintf "paxos msg tag %d" n)))

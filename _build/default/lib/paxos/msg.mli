@@ -1,0 +1,24 @@
+(** Paxos wire messages (Lamport's "Paxos Made Simple", multi-decree,
+    leader-based — the structure of the paper's Algorithm 3). *)
+
+type accepted_entry = { instance : int; ballot : Ballot.t; value : string }
+
+type t =
+  | Prepare of { ballot : Ballot.t; from_instance : int }
+      (** Phase 1a for all instances >= [from_instance]. *)
+  | Promise of {
+      ballot : Ballot.t;
+      ok : bool;  (** [false] = nack: a higher ballot was promised *)
+      accepted : accepted_entry list;
+          (** previously accepted values the new leader must re-propose *)
+    }
+  | Propose of { ballot : Ballot.t; instance : int; value : string }
+      (** Phase 2a. *)
+  | Accepted of { ballot : Ballot.t; instance : int; ok : bool }
+  | Learn of { instance : int; value : string }
+      (** Commit notification from the leader to learners. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+val tag : string
+(** Transport tag for paxos traffic. *)

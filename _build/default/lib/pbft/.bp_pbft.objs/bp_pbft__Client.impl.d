@@ -1,0 +1,1 @@
+lib/pbft/client.ml: Addr Array Bp_net Bp_sim Config Engine Int List Map Msg Network Stdlib String Time

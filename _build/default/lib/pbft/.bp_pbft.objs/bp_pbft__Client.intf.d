@@ -1,0 +1,1 @@
+lib/pbft/client.mli: Bp_net Config

@@ -1,0 +1,1 @@
+lib/pbft/config.ml: Array Bp_crypto Bp_sim

@@ -1,0 +1,1 @@
+lib/pbft/config.mli: Bp_crypto Bp_sim

@@ -1,0 +1,1 @@
+lib/pbft/msg.ml: Array Bp_codec Bp_crypto Bp_sim Config List Printf String Wire

@@ -1,0 +1,1 @@
+lib/pbft/msg.mli: Bp_sim Config

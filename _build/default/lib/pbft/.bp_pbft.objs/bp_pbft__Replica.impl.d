@@ -1,0 +1,1 @@
+lib/pbft/replica.ml: Addr Array Bp_codec Bp_crypto Bp_net Bp_sim Config Engine Hashtbl Int List Logs Map Msg Network Option Printf Queue Set Stdlib String Time

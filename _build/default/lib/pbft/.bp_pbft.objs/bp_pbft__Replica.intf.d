@@ -1,0 +1,1 @@
+lib/pbft/replica.mli: Bp_net Config Msg

@@ -1,0 +1,95 @@
+open Bp_sim
+
+module Int_map = Map.Make (Int)
+
+type pending = {
+  request : Msg.request;
+  mutable replies : (int * string) list; (* replica id, result *)
+  mutable done_ : bool;
+  mutable timer : Engine.timer option;
+  on_result : string -> unit;
+}
+
+type t = {
+  cfg : Config.t;
+  transport : Bp_net.Transport.t;
+  engine : Engine.t;
+  mutable next_ts : int;
+  mutable view_estimate : int;
+  mutable pending : pending Int_map.t; (* keyed by ts *)
+}
+
+let in_flight t = Int_map.cardinal t.pending
+
+let send_to_primary t request =
+  let primary = Config.primary_of_view t.cfg t.view_estimate in
+  Bp_net.Transport.send t.transport ~dst:t.cfg.Config.nodes.(primary)
+    ~tag:t.cfg.Config.tag
+    (Msg.seal t.cfg ~sender:(Bp_net.Transport.addr t.transport) (Msg.Request request))
+
+let broadcast_request t request =
+  let sealed =
+    Msg.seal t.cfg ~sender:(Bp_net.Transport.addr t.transport) (Msg.Request request)
+  in
+  Array.iter
+    (fun addr ->
+      Bp_net.Transport.send t.transport ~dst:addr ~tag:t.cfg.Config.tag sealed)
+    t.cfg.Config.nodes
+
+let rec arm_timer t p =
+  p.timer <-
+    Some
+      (Engine.schedule t.engine ~after:(Time.scale t.cfg.Config.request_timeout 1.5)
+         (fun () ->
+           if not p.done_ then begin
+             (* Suspect the primary: tell everyone (backups will forward
+                and start their own timers, per PBFT). *)
+             broadcast_request t p.request;
+             arm_timer t p
+           end))
+
+let on_reply t body =
+  match body with
+  | Msg.Reply { view; ts; client; replica; result }
+    when Addr.equal client (Bp_net.Transport.addr t.transport) -> (
+      t.view_estimate <- Stdlib.max t.view_estimate view;
+      match Int_map.find_opt ts t.pending with
+      | Some p when not p.done_ ->
+          if not (List.mem_assoc replica p.replies) then begin
+            p.replies <- (replica, result) :: p.replies;
+            let matching =
+              List.length
+                (List.filter (fun (_, r) -> String.equal r result) p.replies)
+            in
+            if matching >= t.cfg.Config.f + 1 then begin
+              p.done_ <- true;
+              (match p.timer with Some timer -> Engine.cancel timer | None -> ());
+              t.pending <- Int_map.remove ts t.pending;
+              p.on_result result
+            end
+          end
+      | _ -> ())
+  | _ -> ()
+
+let create transport cfg =
+  let engine = Network.engine (Bp_net.Transport.network transport) in
+  let t =
+    { cfg; transport; engine; next_ts = 1; view_estimate = 0; pending = Int_map.empty }
+  in
+  Bp_net.Transport.set_handler transport ~tag:(cfg.Config.tag ^ ".reply")
+    (fun ~src:_ payload ->
+      match Msg.verify_envelope cfg payload with
+      | Ok body -> on_reply t body
+      | Error _ -> ());
+  t
+
+let submit t ?(kind = 0) op ~on_result =
+  let ts = t.next_ts in
+  t.next_ts <- ts + 1;
+  let request =
+    Msg.make_request t.cfg ~client:(Bp_net.Transport.addr t.transport) ~ts ~kind ~op
+  in
+  let p = { request; replies = []; done_ = false; timer = None; on_result } in
+  t.pending <- Int_map.add ts p t.pending;
+  send_to_primary t request;
+  arm_timer t p

@@ -1,0 +1,48 @@
+type t = {
+  nodes : Bp_sim.Addr.t array;
+  f : int;
+  keystore : Bp_crypto.Signer.t;
+  tag : string;
+  batch_max : int;
+  request_timeout : Bp_sim.Time.t;
+  checkpoint_interval : int;
+  watermark_window : int;
+}
+
+let make ~nodes ~keystore ?(tag = "pbft") ?(batch_max = 64)
+    ?(request_timeout = Bp_sim.Time.of_ms 500.0) ?(checkpoint_interval = 32)
+    ?(watermark_window = 128) () =
+  let n = Array.length nodes in
+  if n < 4 || (n - 1) mod 3 <> 0 then
+    invalid_arg "Pbft.Config.make: need n = 3f+1 >= 4 nodes";
+  let t =
+    {
+      nodes;
+      f = (n - 1) / 3;
+      keystore;
+      tag;
+      batch_max;
+      request_timeout;
+      checkpoint_interval;
+      watermark_window;
+    }
+  in
+  Array.iter
+    (fun a ->
+      Bp_crypto.Signer.add_identity keystore (tag ^ "/" ^ Bp_sim.Addr.to_string a))
+    nodes;
+  t
+
+let n t = Array.length t.nodes
+let quorum t = (2 * t.f) + 1
+let primary_of_view t view = view mod n t
+
+let identity t addr =
+  let id = t.tag ^ "/" ^ Bp_sim.Addr.to_string addr in
+  Bp_crypto.Signer.add_identity t.keystore id;
+  id
+
+let replica_id t addr =
+  let found = ref None in
+  Array.iteri (fun i a -> if Bp_sim.Addr.equal a addr then found := Some i) t.nodes;
+  !found

@@ -1,0 +1,42 @@
+(** Static configuration of one PBFT cluster (a Blockplane unit, or a
+    geo-distributed baseline deployment). *)
+
+type t = {
+  nodes : Bp_sim.Addr.t array;  (** 3f+1 replicas; replica id = index *)
+  f : int;
+  keystore : Bp_crypto.Signer.t;
+  tag : string;  (** transport tag — isolates clusters sharing a network *)
+  batch_max : int;  (** max requests folded into one pre-prepare *)
+  request_timeout : Bp_sim.Time.t;  (** view-change trigger *)
+  checkpoint_interval : int;  (** stable-checkpoint cadence, in sequences *)
+  watermark_window : int;  (** high watermark = low + window *)
+}
+
+val make :
+  nodes:Bp_sim.Addr.t array ->
+  keystore:Bp_crypto.Signer.t ->
+  ?tag:string ->
+  ?batch_max:int ->
+  ?request_timeout:Bp_sim.Time.t ->
+  ?checkpoint_interval:int ->
+  ?watermark_window:int ->
+  unit ->
+  t
+(** [f] is derived as [(n-1)/3]; requires [n = 3f+1 >= 4]. Registers every
+    node identity (and the [tag]-derived client identities are registered
+    lazily by {!identity}). Defaults: tag ["pbft"], batch 64 requests,
+    request timeout 500 ms, checkpoints every 32, window 128. *)
+
+val n : t -> int
+val quorum : t -> int
+(** 2f+1. *)
+
+val primary_of_view : t -> int -> int
+(** Round-robin: view mod n. *)
+
+val identity : t -> Bp_sim.Addr.t -> string
+(** Signing identity for an address within this cluster; registers it in
+    the keystore on first use (clients as well as replicas). *)
+
+val replica_id : t -> Bp_sim.Addr.t -> int option
+(** Index of a replica address, [None] for clients/outsiders. *)

@@ -1,0 +1,328 @@
+open Bp_codec
+
+type request = {
+  client : Bp_sim.Addr.t;
+  ts : int;
+  kind : int;
+  op : string;
+  client_sig : string;
+}
+
+type prepared_proof = {
+  pview : int;
+  pseq : int;
+  pdigest : string;
+  pbatch : request list;
+  prepare_sigs : (int * string) list;
+}
+
+type view_change = {
+  new_view : int;
+  stable_seq : int;
+  stable_digest : string;
+  prepared : prepared_proof list;
+  vc_replica : int;
+}
+
+type body =
+  | Request of request
+  | Pre_prepare of { view : int; seq : int; digest : string; batch : request list }
+  | Prepare of { view : int; seq : int; digest : string; replica : int }
+  | Commit of { view : int; seq : int; digest : string; replica : int }
+  | Reply of {
+      view : int;
+      ts : int;
+      client : Bp_sim.Addr.t;
+      replica : int;
+      result : string;
+    }
+  | Checkpoint of { seq : int; state_digest : string; replica : int }
+  | View_change of view_change
+  | New_view of {
+      view : int;
+      view_change_envelopes : string list;
+      batches : (int * string * request list) list;
+      replica : int;
+    }
+  | Fetch of { from_seq : int; replica : int }
+  | Fetch_reply of {
+      batches : (int * string * request list) list;
+      replica : int;
+    }
+
+(* ---------- encoding ---------- *)
+
+let encode_addr e (a : Bp_sim.Addr.t) =
+  Wire.varint e a.Bp_sim.Addr.dc;
+  Wire.varint e a.Bp_sim.Addr.idx
+
+let decode_addr d =
+  let dc = Wire.read_varint d in
+  let idx = Wire.read_varint d in
+  Bp_sim.Addr.make ~dc ~idx
+
+let request_signing_payload ~client ~ts ~kind ~op =
+  Wire.encode (fun e ->
+      encode_addr e client;
+      Wire.varint e ts;
+      Wire.u8 e kind;
+      Wire.string e op)
+
+let encode_request e r =
+  encode_addr e r.client;
+  Wire.varint e r.ts;
+  Wire.u8 e r.kind;
+  Wire.string e r.op;
+  Wire.string e r.client_sig
+
+let decode_request d =
+  let client = decode_addr d in
+  let ts = Wire.read_varint d in
+  let kind = Wire.read_u8 d in
+  let op = Wire.read_string d in
+  let client_sig = Wire.read_string d in
+  { client; ts; kind; op; client_sig }
+
+let encode_proof e p =
+  Wire.varint e p.pview;
+  Wire.varint e p.pseq;
+  Wire.string e p.pdigest;
+  Wire.list e (encode_request e) p.pbatch;
+  Wire.list e
+    (fun (i, s) ->
+      Wire.varint e i;
+      Wire.string e s)
+    p.prepare_sigs
+
+let decode_proof d =
+  let pview = Wire.read_varint d in
+  let pseq = Wire.read_varint d in
+  let pdigest = Wire.read_string d in
+  let pbatch = Wire.read_list d decode_request in
+  let prepare_sigs =
+    Wire.read_list d (fun d ->
+        let i = Wire.read_varint d in
+        let s = Wire.read_string d in
+        (i, s))
+  in
+  { pview; pseq; pdigest; pbatch; prepare_sigs }
+
+let encode_body body =
+  Wire.encode (fun e ->
+      match body with
+      | Request r ->
+          Wire.u8 e 0;
+          encode_request e r
+      | Pre_prepare { view; seq; digest; batch } ->
+          Wire.u8 e 1;
+          Wire.varint e view;
+          Wire.varint e seq;
+          Wire.string e digest;
+          Wire.list e (encode_request e) batch
+      | Prepare { view; seq; digest; replica } ->
+          Wire.u8 e 2;
+          Wire.varint e view;
+          Wire.varint e seq;
+          Wire.string e digest;
+          Wire.varint e replica
+      | Commit { view; seq; digest; replica } ->
+          Wire.u8 e 3;
+          Wire.varint e view;
+          Wire.varint e seq;
+          Wire.string e digest;
+          Wire.varint e replica
+      | Reply { view; ts; client; replica; result } ->
+          Wire.u8 e 4;
+          Wire.varint e view;
+          Wire.varint e ts;
+          encode_addr e client;
+          Wire.varint e replica;
+          Wire.string e result
+      | Checkpoint { seq; state_digest; replica } ->
+          Wire.u8 e 5;
+          Wire.varint e seq;
+          Wire.string e state_digest;
+          Wire.varint e replica
+      | View_change { new_view; stable_seq; stable_digest; prepared; vc_replica } ->
+          Wire.u8 e 6;
+          Wire.varint e new_view;
+          Wire.varint e stable_seq;
+          Wire.string e stable_digest;
+          Wire.list e (encode_proof e) prepared;
+          Wire.varint e vc_replica
+      | New_view { view; view_change_envelopes; batches; replica } ->
+          Wire.u8 e 7;
+          Wire.varint e view;
+          Wire.list e (Wire.string e) view_change_envelopes;
+          Wire.list e
+            (fun (seq, digest, batch) ->
+              Wire.varint e seq;
+              Wire.string e digest;
+              Wire.list e (encode_request e) batch)
+            batches;
+          Wire.varint e replica
+      | Fetch { from_seq; replica } ->
+          Wire.u8 e 8;
+          Wire.varint e from_seq;
+          Wire.varint e replica
+      | Fetch_reply { batches; replica } ->
+          Wire.u8 e 9;
+          Wire.list e
+            (fun (seq, digest, batch) ->
+              Wire.varint e seq;
+              Wire.string e digest;
+              Wire.list e (encode_request e) batch)
+            batches;
+          Wire.varint e replica)
+
+let decode_body s =
+  Wire.decode s (fun d ->
+      match Wire.read_u8 d with
+      | 0 -> Request (decode_request d)
+      | 1 ->
+          let view = Wire.read_varint d in
+          let seq = Wire.read_varint d in
+          let digest = Wire.read_string d in
+          let batch = Wire.read_list d decode_request in
+          Pre_prepare { view; seq; digest; batch }
+      | 2 ->
+          let view = Wire.read_varint d in
+          let seq = Wire.read_varint d in
+          let digest = Wire.read_string d in
+          let replica = Wire.read_varint d in
+          Prepare { view; seq; digest; replica }
+      | 3 ->
+          let view = Wire.read_varint d in
+          let seq = Wire.read_varint d in
+          let digest = Wire.read_string d in
+          let replica = Wire.read_varint d in
+          Commit { view; seq; digest; replica }
+      | 4 ->
+          let view = Wire.read_varint d in
+          let ts = Wire.read_varint d in
+          let client = decode_addr d in
+          let replica = Wire.read_varint d in
+          let result = Wire.read_string d in
+          Reply { view; ts; client; replica; result }
+      | 5 ->
+          let seq = Wire.read_varint d in
+          let state_digest = Wire.read_string d in
+          let replica = Wire.read_varint d in
+          Checkpoint { seq; state_digest; replica }
+      | 6 ->
+          let new_view = Wire.read_varint d in
+          let stable_seq = Wire.read_varint d in
+          let stable_digest = Wire.read_string d in
+          let prepared = Wire.read_list d decode_proof in
+          let replica = Wire.read_varint d in
+          View_change { new_view; stable_seq; stable_digest; prepared; vc_replica = replica }
+      | 7 ->
+          let view = Wire.read_varint d in
+          let view_change_envelopes = Wire.read_list d Wire.read_string in
+          let batches =
+            Wire.read_list d (fun d ->
+                let seq = Wire.read_varint d in
+                let digest = Wire.read_string d in
+                let batch = Wire.read_list d decode_request in
+                (seq, digest, batch))
+          in
+          let replica = Wire.read_varint d in
+          New_view { view; view_change_envelopes; batches; replica }
+      | 8 ->
+          let from_seq = Wire.read_varint d in
+          let replica = Wire.read_varint d in
+          Fetch { from_seq; replica }
+      | 9 ->
+          let batches =
+            Wire.read_list d (fun d ->
+                let seq = Wire.read_varint d in
+                let digest = Wire.read_string d in
+                let batch = Wire.read_list d decode_request in
+                (seq, digest, batch))
+          in
+          let replica = Wire.read_varint d in
+          Fetch_reply { batches; replica }
+      | n -> raise (Wire.Malformed (Printf.sprintf "pbft msg tag %d" n)))
+
+(* ---------- signatures ---------- *)
+
+let make_request cfg ~client ~ts ~kind ~op =
+  let payload = request_signing_payload ~client ~ts ~kind ~op in
+  let identity = Config.identity cfg client in
+  let client_sig =
+    Bp_crypto.Signer.sign cfg.Config.keystore ~signer:identity payload
+  in
+  { client; ts; kind; op; client_sig }
+
+let request_valid cfg r =
+  let payload =
+    request_signing_payload ~client:r.client ~ts:r.ts ~kind:r.kind ~op:r.op
+  in
+  Bp_crypto.Signer.verify cfg.Config.keystore
+    ~signer:(Config.identity cfg r.client)
+    ~msg:payload ~signature:r.client_sig
+
+let batch_digest batch =
+  let ctx = Bp_crypto.Sha256.init () in
+  List.iter
+    (fun r -> Bp_crypto.Sha256.update ctx (Wire.encode (fun e -> encode_request e r)))
+    batch;
+  Bp_crypto.Sha256.finalize ctx
+
+let sender_of cfg = function
+  | Request r -> Some r.client
+  | Pre_prepare { view; _ } ->
+      Some cfg.Config.nodes.(Config.primary_of_view cfg view)
+  | Prepare { replica; _ }
+  | Commit { replica; _ }
+  | Reply { replica; _ }
+  | Checkpoint { replica; _ }
+  | View_change { vc_replica = replica; _ }
+  | New_view { replica; _ }
+  | Fetch { replica; _ }
+  | Fetch_reply { replica; _ } ->
+      if replica >= 0 && replica < Config.n cfg then
+        Some cfg.Config.nodes.(replica)
+      else None
+
+let seal cfg ~sender body =
+  let encoded = encode_body body in
+  let signature =
+    Bp_crypto.Signer.sign cfg.Config.keystore
+      ~signer:(Config.identity cfg sender)
+      encoded
+  in
+  Wire.encode (fun e ->
+      Wire.string e encoded;
+      Wire.string e signature)
+
+let seal_forged cfg ~sender body =
+  ignore (Config.identity cfg sender);
+  let encoded = encode_body body in
+  Wire.encode (fun e ->
+      Wire.string e encoded;
+      Wire.string e (String.make 32 '\x00'))
+
+let open_envelope cfg ~claimed s =
+  match
+    Wire.decode s (fun d ->
+        let encoded = Wire.read_string d in
+        let signature = Wire.read_string d in
+        (encoded, signature))
+  with
+  | Error e -> Error e
+  | Ok (encoded, signature) -> (
+      match decode_body encoded with
+      | Error e -> Error e
+      | Ok body -> (
+          match claimed body with
+          | None -> Error "no sender identity"
+          | Some sender ->
+              if
+                Bp_crypto.Signer.verify cfg.Config.keystore
+                  ~signer:(Config.identity cfg sender)
+                  ~msg:encoded ~signature
+              then Ok body
+              else Error "bad signature"))
+
+let verify_envelope cfg s = open_envelope cfg ~claimed:(sender_of cfg) s

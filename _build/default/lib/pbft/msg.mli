@@ -1,0 +1,92 @@
+(** PBFT wire messages, with signatures.
+
+    Every message travels as a signed envelope: the encoded body plus a
+    signature by the sender's identity. Receivers verify the signature
+    against the identity *claimed inside the body* (replica index or
+    client address), so a byzantine node cannot impersonate another.
+
+    Two Blockplane-specific extensions over textbook PBFT (§IV-B):
+    - requests carry a record-type annotation ([kind]);
+    - replicas run a verification routine between the prepared and commit
+      phases (see {!Replica.set_verifier}). *)
+
+type request = {
+  client : Bp_sim.Addr.t;
+  ts : int;  (** client-local, monotone; (client, ts) identifies a request *)
+  kind : int;  (** Blockplane record-type annotation *)
+  op : string;
+  client_sig : string;
+}
+
+type prepared_proof = {
+  pview : int;
+  pseq : int;
+  pdigest : string;
+  pbatch : request list;
+  prepare_sigs : (int * string) list;  (** replica id, prepare signature *)
+}
+
+type view_change = {
+  new_view : int;
+  stable_seq : int;
+  stable_digest : string;
+  prepared : prepared_proof list;
+  vc_replica : int;
+}
+
+type body =
+  | Request of request
+  | Pre_prepare of { view : int; seq : int; digest : string; batch : request list }
+  | Prepare of { view : int; seq : int; digest : string; replica : int }
+  | Commit of { view : int; seq : int; digest : string; replica : int }
+  | Reply of {
+      view : int;
+      ts : int;
+      client : Bp_sim.Addr.t;
+      replica : int;
+      result : string;
+    }
+  | Checkpoint of { seq : int; state_digest : string; replica : int }
+  | View_change of view_change
+  | New_view of {
+      view : int;
+      view_change_envelopes : string list;  (** signed View_change envelopes *)
+      batches : (int * string * request list) list;  (** seq, digest, batch *)
+      replica : int;
+    }
+  | Fetch of { from_seq : int; replica : int }
+      (** state transfer: a lagging replica asks peers for executed
+          batches starting at [from_seq] *)
+  | Fetch_reply of {
+      batches : (int * string * request list) list;  (** seq, digest, batch *)
+      replica : int;
+    }
+
+val make_request :
+  Config.t -> client:Bp_sim.Addr.t -> ts:int -> kind:int -> op:string -> request
+(** Builds and client-signs a request. *)
+
+val request_valid : Config.t -> request -> bool
+
+val batch_digest : request list -> string
+
+val encode_body : body -> string
+val decode_body : string -> (body, string) result
+
+val seal : Config.t -> sender:Bp_sim.Addr.t -> body -> string
+(** Sign with [sender]'s identity and wrap into an envelope. *)
+
+val seal_forged : Config.t -> sender:Bp_sim.Addr.t -> body -> string
+(** Test hook: envelope with a garbage signature (models a node that
+    cannot actually sign for the identity it impersonates). *)
+
+val open_envelope :
+  Config.t -> claimed:(body -> Bp_sim.Addr.t option) -> string -> (body, string) result
+(** Decode and verify: [claimed] maps the decoded body to the address
+    whose signature must check (normally {!sender_of}). *)
+
+val sender_of : Config.t -> body -> Bp_sim.Addr.t option
+(** The address implied by the body's replica index / client field. *)
+
+val verify_envelope : Config.t -> string -> (body, string) result
+(** [open_envelope] with [claimed = sender_of config]. *)

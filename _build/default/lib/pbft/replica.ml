@@ -1,0 +1,781 @@
+open Bp_sim
+
+let log = Logs.Src.create "bp.pbft" ~doc:"PBFT replica"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+type slot = {
+  seq : int;
+  mutable sview : int; (* view in which the pre-prepare was accepted *)
+  mutable digest : string option;
+  mutable batch : Msg.request list;
+  (* replica id, (view, digest) voted for, prepare signature *)
+  mutable prepares : (int * (int * string) * string) list;
+  mutable commits : (int * (int * string)) list; (* replica id, (view, digest) *)
+  mutable sent_prepare : bool;
+  mutable sent_commit : bool;
+  mutable committed : bool;
+  mutable executed : bool;
+}
+
+type status = Normal | View_changing of int
+
+type t = {
+  cfg : Config.t;
+  id : int;
+  transport : Bp_net.Transport.t;
+  engine : Engine.t;
+  execute : seq:int -> Msg.request -> string;
+  mutable on_executed : seq:int -> Msg.request list -> unit;
+  mutable verifier : kind:int -> op:string -> bool;
+  mutable view : int;
+  mutable status : status;
+  mutable next_seq : int; (* primary: next sequence to assign *)
+  mutable slots : slot Int_map.t;
+  mutable low_watermark : int;
+  mutable last_exec : int;
+  mutable chain : string; (* hash chain over executed batches *)
+  (* primary batching *)
+  queue : Msg.request Queue.t;
+  mutable queued_keys : (string * int) list; (* dedup of queued requests *)
+  mutable in_flight : bool;
+  (* client bookkeeping *)
+  last_reply : (string, int * string) Hashtbl.t; (* client key -> ts, reply envelope *)
+  (* request timers: key -> timer *)
+  timers : (string, Engine.timer) Hashtbl.t;
+  (* checkpoints: seq -> replica -> digest *)
+  mutable checkpoints : (int * string) list Int_map.t;
+  mutable own_checkpoints : string Int_map.t; (* seq -> digest, ours *)
+  (* view change *)
+  mutable view_changes : (int * string) list Int_map.t; (* target view -> (replica, envelope) *)
+  mutable vc_timer : Engine.timer option;
+  (* state transfer *)
+  archive : (int, string * Msg.request list) Hashtbl.t; (* executed batches *)
+  fetch_votes : (int * string, Int_set.t * Msg.request list) Hashtbl.t;
+  mutable fetching : bool;
+  mutable stopped : bool;
+  mutable suppress_commits : bool;
+}
+
+let id t = t.id
+let view t = t.view
+let is_primary t = Config.primary_of_view t.cfg t.view = t.id
+let last_executed t = t.last_exec
+let low_watermark t = t.low_watermark
+let exec_chain t = t.chain
+let set_verifier t v = t.verifier <- v
+let set_on_executed t f = t.on_executed <- f
+let suppress_commit_votes t b = t.suppress_commits <- b
+
+let self_addr t = t.cfg.Config.nodes.(t.id)
+
+let client_key (a : Addr.t) = Addr.to_string a
+let request_key (r : Msg.request) = (client_key r.Msg.client, r.Msg.ts)
+let timer_key (ck, ts) = Printf.sprintf "%s#%d" ck ts
+
+let broadcast t body =
+  let sealed = Msg.seal t.cfg ~sender:(self_addr t) body in
+  Array.iter
+    (fun addr ->
+      Bp_net.Transport.send t.transport ~dst:addr ~tag:t.cfg.Config.tag sealed)
+    t.cfg.Config.nodes
+
+let reply_tag cfg = cfg.Config.tag ^ ".reply"
+
+let send_reply t (r : Msg.request) result =
+  let body =
+    Msg.Reply
+      { view = t.view; ts = r.Msg.ts; client = r.Msg.client; replica = t.id; result }
+  in
+  let sealed = Msg.seal t.cfg ~sender:(self_addr t) body in
+  Hashtbl.replace t.last_reply (client_key r.Msg.client) (r.Msg.ts, sealed);
+  Bp_net.Transport.send t.transport ~dst:r.Msg.client ~tag:(reply_tag t.cfg) sealed
+
+let slot_of t seq =
+  match Int_map.find_opt seq t.slots with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          seq;
+          sview = t.view;
+          digest = None;
+          batch = [];
+          prepares = [];
+          commits = [];
+          sent_prepare = false;
+          sent_commit = false;
+          committed = false;
+          executed = false;
+        }
+      in
+      t.slots <- Int_map.add seq s t.slots;
+      s
+
+let in_window t seq =
+  seq > t.low_watermark && seq <= t.low_watermark + t.cfg.Config.watermark_window
+
+(* ---------- view change triggering ---------- *)
+
+let cancel_request_timer t key =
+  match Hashtbl.find_opt t.timers (timer_key key) with
+  | Some timer ->
+      Engine.cancel timer;
+      Hashtbl.remove t.timers (timer_key key)
+  | None -> ()
+
+let matching_prepares s =
+  match s.digest with
+  | None -> []
+  | Some d ->
+      List.filter (fun (_, (v, dg), _) -> v = s.sview && String.equal dg d) s.prepares
+
+let matching_commits s =
+  match s.digest with
+  | None -> []
+  | Some d ->
+      List.filter (fun (_, (v, dg)) -> v = s.sview && String.equal dg d) s.commits
+
+let prepared_proofs t =
+  Int_map.fold
+    (fun seq s acc ->
+      let matching = matching_prepares s in
+      if
+        seq > t.low_watermark
+        && (not s.executed)
+        && s.digest <> None
+        && List.length matching >= 2 * t.cfg.Config.f
+      then
+        {
+          Msg.pview = s.sview;
+          pseq = seq;
+          pdigest = Option.get s.digest;
+          pbatch = s.batch;
+          prepare_sigs = List.map (fun (r, _, sg) -> (r, sg)) matching;
+        }
+        :: acc
+      else acc)
+    t.slots []
+
+let rec move_to_view t target =
+  if target > t.view then begin
+    Log.debug (fun m -> m "pbft %d: view change -> %d" t.id target);
+    t.status <- View_changing target;
+    (* Clear per-request timers; the new view re-arms protocol progress. *)
+    Hashtbl.iter (fun _ timer -> Engine.cancel timer) t.timers;
+    Hashtbl.reset t.timers;
+    let body =
+      Msg.View_change
+        {
+          new_view = target;
+          stable_seq = t.low_watermark;
+          stable_digest =
+            (match Int_map.find_opt t.low_watermark t.own_checkpoints with
+            | Some d -> d
+            | None -> "");
+          prepared = prepared_proofs t;
+          vc_replica = t.id;
+        }
+    in
+    (* Record our own view-change message. *)
+    let sealed = Msg.seal t.cfg ~sender:(self_addr t) body in
+    record_view_change t target t.id sealed;
+    broadcast t body;
+    (match t.vc_timer with Some timer -> Engine.cancel timer | None -> ());
+    t.vc_timer <-
+      Some
+        (Engine.schedule t.engine ~after:(Time.scale t.cfg.Config.request_timeout 2.0)
+           (fun () ->
+             match t.status with
+             | View_changing v when v = target -> move_to_view t (target + 1)
+             | _ -> ()))
+  end
+
+and record_view_change t target replica envelope =
+  let existing = Option.value ~default:[] (Int_map.find_opt target t.view_changes) in
+  if not (List.mem_assoc replica existing) then begin
+    t.view_changes <- Int_map.add target ((replica, envelope) :: existing) t.view_changes;
+    maybe_new_view t target
+  end
+
+(* The new primary assembles and broadcasts New_view once it holds 2f+1
+   view-change messages for the target view. *)
+and maybe_new_view t target =
+  if Config.primary_of_view t.cfg target = t.id && target > t.view then begin
+    let vcs = Option.value ~default:[] (Int_map.find_opt target t.view_changes) in
+    if List.length vcs >= Config.quorum t.cfg then begin
+      match compute_new_view_batches t.cfg (List.map snd vcs) with
+      | None -> ()
+      | Some batches ->
+          let body =
+            Msg.New_view
+              {
+                view = target;
+                view_change_envelopes = List.map snd vcs;
+                batches;
+                replica = t.id;
+              }
+          in
+          broadcast t body;
+          enter_new_view t target batches
+    end
+  end
+
+and verified_view_changes cfg target envelopes =
+  (* Returns (replica, View_change fields) for envelopes that verify and
+     target the right view, at most one per replica. *)
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun env ->
+      match Msg.verify_envelope cfg env with
+      | Ok (Msg.View_change vc) when vc.Msg.new_view = target ->
+          if Hashtbl.mem seen vc.Msg.vc_replica then None
+          else begin
+            Hashtbl.add seen vc.Msg.vc_replica ();
+            Some vc
+          end
+      | _ -> None)
+    envelopes
+
+and proof_valid cfg (p : Msg.prepared_proof) =
+  String.equal p.Msg.pdigest (Msg.batch_digest p.Msg.pbatch)
+  && begin
+       (* 2f distinct, valid prepare signatures over the reconstructed
+          prepare body. *)
+       let distinct = Hashtbl.create 8 in
+       let valid =
+         List.filter
+           (fun (replica, signature) ->
+             if Hashtbl.mem distinct replica then false
+             else if replica < 0 || replica >= Config.n cfg then false
+             else begin
+               let body =
+                 Msg.encode_body
+                   (Msg.Prepare
+                      {
+                        view = p.Msg.pview;
+                        seq = p.Msg.pseq;
+                        digest = p.Msg.pdigest;
+                        replica;
+                      })
+               in
+               let ok =
+                 Bp_crypto.Signer.verify cfg.Config.keystore
+                   ~signer:(Config.identity cfg cfg.Config.nodes.(replica))
+                   ~msg:body ~signature
+               in
+               if ok then Hashtbl.add distinct replica ();
+               ok
+             end)
+           p.Msg.prepare_sigs
+       in
+       List.length valid >= 2 * cfg.Config.f
+     end
+
+and compute_new_view_batches cfg envelopes =
+  (* Deterministic function of the view-change set: both the new primary
+     and the backups run it and must agree. *)
+  let target =
+    List.fold_left
+      (fun acc env ->
+        match Msg.verify_envelope cfg env with
+        | Ok (Msg.View_change vc) -> Stdlib.max acc vc.Msg.new_view
+        | _ -> acc)
+      (-1) envelopes
+  in
+  if target < 0 then None
+  else begin
+    let vcs = verified_view_changes cfg target envelopes in
+    if List.length vcs < Config.quorum cfg then None
+    else begin
+      (* min_s: the highest stable sequence supported by at least f+1
+         view-change messages — at least one of those reporters is honest,
+         so a lone byzantine node cannot truncate prepared batches by
+         claiming an inflated stable checkpoint. *)
+      let stables = List.sort (fun a b -> compare b a) (List.map (fun vc -> vc.Msg.stable_seq) vcs) in
+      let min_s = List.nth stables (Stdlib.min (List.length stables - 1) cfg.Config.f) in
+      let best = Hashtbl.create 16 in
+      List.iter
+        (fun vc ->
+          List.iter
+            (fun p ->
+              if p.Msg.pseq > min_s && proof_valid cfg p then
+                match Hashtbl.find_opt best p.Msg.pseq with
+                | Some existing when existing.Msg.pview >= p.Msg.pview -> ()
+                | _ -> Hashtbl.replace best p.Msg.pseq p)
+            vc.Msg.prepared)
+        vcs;
+      let max_s = Hashtbl.fold (fun seq _ acc -> Stdlib.max acc seq) best min_s in
+      let batches =
+        List.init (max_s - min_s) (fun i ->
+            let seq = min_s + 1 + i in
+            match Hashtbl.find_opt best seq with
+            | Some p -> (seq, p.Msg.pdigest, p.Msg.pbatch)
+            | None -> (seq, Msg.batch_digest [], []))
+      in
+      Some batches
+    end
+  end
+
+and enter_new_view t target batches =
+  (match t.vc_timer with Some timer -> Engine.cancel timer | None -> ());
+  t.vc_timer <- None;
+  t.view <- target;
+  t.status <- Normal;
+  t.in_flight <- false;
+  let max_seq = List.fold_left (fun acc (s, _, _) -> Stdlib.max acc s) 0 batches in
+  t.next_seq <- Stdlib.max t.next_seq (Stdlib.max max_seq t.last_exec + 1);
+  List.iter
+    (fun (seq, digest, batch) ->
+      if seq > t.last_exec && in_window t seq then begin
+        let s = slot_of t seq in
+        s.sview <- target;
+        s.digest <- Some digest;
+        s.batch <- batch;
+        s.prepares <- [];
+        s.commits <- [];
+        s.sent_prepare <- false;
+        s.sent_commit <- false;
+        (* Everyone, including the new primary, prepares the re-proposed
+           batches in the new view. *)
+        send_prepare t s
+      end)
+    batches;
+  Log.debug (fun m -> m "pbft %d: entered view %d" t.id target)
+
+(* ---------- normal case ---------- *)
+
+and send_prepare t s =
+  if not s.sent_prepare then begin
+    s.sent_prepare <- true;
+    match s.digest with
+    | Some digest ->
+        broadcast t (Msg.Prepare { view = s.sview; seq = s.seq; digest; replica = t.id })
+    | None -> ()
+  end
+
+and check_prepared t s =
+  if
+    (not s.sent_commit)
+    && s.digest <> None
+    && List.length (matching_prepares s) >= 2 * t.cfg.Config.f
+  then begin
+    (* Blockplane hook: run the verification routines before voting to
+       commit (§IV-B). *)
+    let all_valid =
+      List.for_all (fun r -> t.verifier ~kind:r.Msg.kind ~op:r.Msg.op) s.batch
+    in
+    if all_valid then begin
+      s.sent_commit <- true;
+      if not t.suppress_commits then
+        broadcast t
+          (Msg.Commit
+             { view = s.sview; seq = s.seq; digest = Option.get s.digest; replica = t.id })
+    end
+  end
+
+and check_committed t s =
+  if
+    (not s.committed)
+    && s.sent_commit
+    && List.length (matching_commits s) >= Config.quorum t.cfg
+  then begin
+    s.committed <- true;
+    try_execute t;
+    if is_primary t && t.status = Normal then begin
+      t.in_flight <- false;
+      try_form_batch t
+    end
+  end
+
+and try_execute t =
+  let rec go () =
+    match Int_map.find_opt (t.last_exec + 1) t.slots with
+    | Some s when s.committed && not s.executed ->
+        s.executed <- true;
+        t.last_exec <- s.seq;
+        (* Retain the executed batch for state transfer, bounded. *)
+        Hashtbl.replace t.archive s.seq (Option.value ~default:"" s.digest, s.batch);
+        let horizon = s.seq - (4 * t.cfg.Config.watermark_window) in
+        if horizon > 0 then Hashtbl.remove t.archive horizon;
+        List.iter
+          (fun r ->
+            let result = t.execute ~seq:s.seq r in
+            cancel_request_timer t (request_key r);
+            send_reply t r result)
+          s.batch;
+        t.chain <-
+          Bp_crypto.Sha256.digest_list
+            [ t.chain; Option.value ~default:"" s.digest ];
+        t.on_executed ~seq:s.seq s.batch;
+        if s.seq mod t.cfg.Config.checkpoint_interval = 0 then begin
+          t.own_checkpoints <- Int_map.add s.seq t.chain t.own_checkpoints;
+          broadcast t (Msg.Checkpoint { seq = s.seq; state_digest = t.chain; replica = t.id })
+        end;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+and try_form_batch t =
+  if
+    is_primary t && t.status = Normal && (not t.in_flight)
+    && not (Queue.is_empty t.queue)
+    && t.next_seq <= t.low_watermark + t.cfg.Config.watermark_window
+  then begin
+    let batch = ref [] in
+    while (not (Queue.is_empty t.queue)) && List.length !batch < t.cfg.Config.batch_max do
+      let r = Queue.pop t.queue in
+      t.queued_keys <- List.filter (fun k -> k <> request_key r) t.queued_keys;
+      (* Pre-screen with the verification routine; invalid requests are
+         dropped here (an honest primary never proposes them). *)
+      if t.verifier ~kind:r.Msg.kind ~op:r.Msg.op then batch := r :: !batch
+    done;
+    let batch = List.rev !batch in
+    if batch <> [] then begin
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.in_flight <- true;
+      let digest = Msg.batch_digest batch in
+      let s = slot_of t seq in
+      s.sview <- t.view;
+      s.digest <- Some digest;
+      s.batch <- batch;
+      broadcast t (Msg.Pre_prepare { view = t.view; seq; digest; batch })
+      (* The primary's pre-prepare stands in for its prepare: backups
+         count it via the digest; the primary collects 2f backup prepares
+         like everyone else. *)
+    end
+    else if not (Queue.is_empty t.queue) then try_form_batch t
+  end
+
+and arm_request_timer t (r : Msg.request) =
+  let key = request_key r in
+  let tk = timer_key key in
+  if not (Hashtbl.mem t.timers tk) then begin
+    let timer =
+      Engine.schedule t.engine ~after:t.cfg.Config.request_timeout (fun () ->
+          Hashtbl.remove t.timers tk;
+          (* The request did not execute in time: suspect the primary. *)
+          match t.status with
+          | Normal -> move_to_view t (t.view + 1)
+          | View_changing _ -> ())
+    in
+    Hashtbl.replace t.timers tk timer
+  end
+
+and handle_request t ~envelope (r : Msg.request) =
+  if Msg.request_valid t.cfg r then begin
+    let ck = client_key r.Msg.client in
+    match Hashtbl.find_opt t.last_reply ck with
+    | Some (ts, envelope) when ts >= r.Msg.ts ->
+        (* Already executed: re-send the cached reply. *)
+        if ts = r.Msg.ts then
+          Bp_net.Transport.send t.transport ~dst:r.Msg.client
+            ~tag:(reply_tag t.cfg) envelope
+    | _ when not (t.verifier ~kind:r.Msg.kind ~op:r.Msg.op) ->
+        (* Pre-screen: an op the verification routine rejects can never
+           commit; answer immediately instead of letting request timers
+           churn view changes. The client waits for f+1 of these, so up
+           to f liars cannot fake a rejection. *)
+        let body =
+          Msg.Reply
+            {
+              view = t.view;
+              ts = r.Msg.ts;
+              client = r.Msg.client;
+              replica = t.id;
+              result = "__rejected";
+            }
+        in
+        Bp_net.Transport.send t.transport ~dst:r.Msg.client ~tag:(reply_tag t.cfg)
+          (Msg.seal t.cfg ~sender:(self_addr t) body)
+    | _ ->
+        if is_primary t && t.status = Normal then begin
+          if not (List.mem (request_key r) t.queued_keys) then begin
+            Queue.push r t.queue;
+            t.queued_keys <- request_key r :: t.queued_keys;
+            arm_request_timer t r;
+            try_form_batch t
+          end
+        end
+        else begin
+          (* Backup: forward the client's original envelope (we cannot
+             re-sign for the client) and watch for progress. Never forward
+             to ourselves (we may be the deposed primary of a view change
+             in progress) — the client's retransmissions provide liveness. *)
+          let primary = Config.primary_of_view t.cfg t.view in
+          if primary <> t.id && t.status = Normal then
+            Bp_net.Transport.send t.transport
+              ~dst:t.cfg.Config.nodes.(primary)
+              ~tag:t.cfg.Config.tag envelope;
+          arm_request_timer t r
+        end
+  end
+
+and handle_pre_prepare t ~view ~seq ~digest ~batch =
+  if
+    t.status = Normal && view = t.view && in_window t seq
+    && Config.primary_of_view t.cfg view <> t.id
+    && String.equal digest (Msg.batch_digest batch)
+    && List.for_all (Msg.request_valid t.cfg) batch
+  then begin
+    let s = slot_of t seq in
+    match s.digest with
+    | Some existing when s.sview = view ->
+        if not (String.equal existing digest) then
+          (* Equivocating primary: refuse, and push for a view change. *)
+          move_to_view t (t.view + 1)
+    | _ ->
+        if not s.executed then begin
+          s.sview <- view;
+          s.digest <- Some digest;
+          s.batch <- batch;
+          List.iter (fun r -> cancel_request_timer t (request_key r)) batch;
+          List.iter (fun r -> arm_request_timer t r) batch;
+          send_prepare t s;
+          check_prepared t s;
+          check_committed t s
+        end
+  end
+
+and handle_prepare t ~view ~seq ~digest ~replica ~signature =
+  if in_window t seq && view >= 0 then begin
+    let s = slot_of t seq in
+    (* Buffer each replica's vote with the (view, digest) it voted for —
+       votes for other digests are kept but never counted, so a byzantine
+       flood cannot inflate the prepared count. *)
+    if not (List.exists (fun (r, _, _) -> r = replica) s.prepares) then begin
+      s.prepares <- (replica, (view, digest), signature) :: s.prepares;
+      check_prepared t s;
+      check_committed t s
+    end
+  end
+
+and handle_commit t ~view ~seq ~digest ~replica =
+  if in_window t seq then begin
+    let s = slot_of t seq in
+    if not (List.exists (fun (r, _) -> r = replica) s.commits) then begin
+      s.commits <- (replica, (view, digest)) :: s.commits;
+      check_committed t s
+    end
+  end
+
+and handle_checkpoint t ~seq ~state_digest ~replica =
+  if seq > t.low_watermark then begin
+    let existing = Option.value ~default:[] (Int_map.find_opt seq t.checkpoints) in
+    if not (List.mem_assoc replica existing) then begin
+      let entries = (replica, state_digest) :: existing in
+      t.checkpoints <- Int_map.add seq entries t.checkpoints;
+      (* State-transfer trigger: f+1 distinct replicas checkpointing a
+         sequence we have not executed means at least one honest replica
+         is ahead of us — fetch the gap (e.g. after an amnesiac reboot). *)
+      if seq > t.last_exec && List.length entries >= t.cfg.Config.f + 1 then
+        start_fetch t;
+      let matching =
+        List.length (List.filter (fun (_, d) -> String.equal d state_digest) entries)
+      in
+      if matching >= Config.quorum t.cfg && Int_map.mem seq t.own_checkpoints then begin
+        (* Stable checkpoint: advance watermarks and collect garbage. *)
+        t.low_watermark <- seq;
+        t.slots <- Int_map.filter (fun s _ -> s > seq) t.slots;
+        t.checkpoints <- Int_map.filter (fun s _ -> s > seq) t.checkpoints;
+        t.own_checkpoints <- Int_map.filter (fun s _ -> s >= seq) t.own_checkpoints
+      end
+    end
+  end
+
+(* ---------- state transfer ---------- *)
+
+and start_fetch t =
+  if not t.fetching then begin
+    t.fetching <- true;
+    broadcast t (Msg.Fetch { from_seq = t.last_exec + 1; replica = t.id });
+    (* Allow a re-trigger if this round stalls (lost replies, still
+       behind). *)
+    ignore
+      (Engine.schedule t.engine ~after:(Time.scale t.cfg.Config.request_timeout 2.0)
+         (fun () -> t.fetching <- false))
+  end
+
+and handle_fetch t ~from_seq ~replica =
+  if replica <> t.id && replica >= 0 && replica < Config.n t.cfg then begin
+    let batches = ref [] in
+    let upto = Stdlib.min t.last_exec (from_seq + 31) in
+    for seq = upto downto from_seq do
+      match Hashtbl.find_opt t.archive seq with
+      | Some (digest, batch) -> batches := (seq, digest, batch) :: !batches
+      | None -> ()
+    done;
+    if !batches <> [] then begin
+      let body = Msg.Fetch_reply { batches = !batches; replica = t.id } in
+      Bp_net.Transport.send t.transport ~dst:t.cfg.Config.nodes.(replica)
+        ~tag:t.cfg.Config.tag
+        (Msg.seal t.cfg ~sender:(self_addr t) body)
+    end
+  end
+
+and handle_fetch_reply t ~batches ~replica =
+  List.iter
+    (fun (seq, digest, batch) ->
+      if seq > t.last_exec && String.equal digest (Msg.batch_digest batch) then begin
+        let voters, stored =
+          match Hashtbl.find_opt t.fetch_votes (seq, digest) with
+          | Some (v, b) -> (v, b)
+          | None -> (Int_set.empty, batch)
+        in
+        Hashtbl.replace t.fetch_votes (seq, digest) (Int_set.add replica voters, stored)
+      end)
+    batches;
+  (* Drain: accept the next sequence once f+1 distinct peers vouch for
+     the same digest — at least one of them is honest and executed it. *)
+  let rec drain () =
+    let next = t.last_exec + 1 in
+    let candidate =
+      Hashtbl.fold
+        (fun (seq, digest) (voters, batch) acc ->
+          if seq = next && Int_set.cardinal voters >= t.cfg.Config.f + 1 then
+            Some (digest, batch)
+          else acc)
+        t.fetch_votes None
+    in
+    match candidate with
+    | Some (digest, batch) ->
+        let s = slot_of t next in
+        if not s.executed then begin
+          s.digest <- Some digest;
+          s.batch <- batch;
+          s.committed <- true;
+          s.sent_commit <- true
+        end;
+        Hashtbl.remove t.fetch_votes (next, digest);
+        try_execute t;
+        if t.last_exec >= next then drain ()
+    | None -> ()
+  in
+  let before = t.last_exec in
+  drain ();
+  (* A fetch round covers a bounded range; if checkpoint evidence says we
+     are still behind, immediately ask for the next stretch. *)
+  if t.last_exec > before then begin
+    let still_behind =
+      Int_map.exists
+        (fun seq entries ->
+          seq > t.last_exec && List.length entries >= t.cfg.Config.f + 1)
+        t.checkpoints
+    in
+    if still_behind then begin
+      t.fetching <- false;
+      start_fetch t
+    end
+  end
+
+(* ---------- dispatch ---------- *)
+
+let extract_prepare_signature envelope =
+  (* envelope = Wire{body, signature}; we need the signature to stash in
+     prepared-certificates. *)
+  match
+    Bp_codec.Wire.decode envelope (fun d ->
+        let _body = Bp_codec.Wire.read_string d in
+        Bp_codec.Wire.read_string d)
+  with
+  | Ok s -> s
+  | Error _ -> ""
+
+let on_envelope t ~src:_ envelope =
+  if not t.stopped then
+    match Msg.verify_envelope t.cfg envelope with
+    | Error e -> Log.debug (fun m -> m "pbft %d: rejected envelope: %s" t.id e)
+    | Ok body -> (
+        match body with
+        | Msg.Request r -> handle_request t ~envelope r
+        | Msg.Pre_prepare { view; seq; digest; batch } ->
+            handle_pre_prepare t ~view ~seq ~digest ~batch
+        | Msg.Prepare { view; seq; digest; replica } ->
+            handle_prepare t ~view ~seq ~digest ~replica
+              ~signature:(extract_prepare_signature envelope)
+        | Msg.Commit { view; seq; digest; replica } ->
+            handle_commit t ~view ~seq ~digest ~replica
+        | Msg.Reply _ -> () (* replicas ignore replies *)
+        | Msg.Checkpoint { seq; state_digest; replica } ->
+            handle_checkpoint t ~seq ~state_digest ~replica
+        | Msg.View_change ({ new_view; vc_replica = replica; _ } as vc) ->
+            if new_view > t.view then begin
+              record_view_change t new_view replica envelope;
+              (* Liveness rule: join a view change supported by f+1. *)
+              let support =
+                List.length
+                  (Option.value ~default:[] (Int_map.find_opt new_view t.view_changes))
+              in
+              ignore vc;
+              if support >= t.cfg.Config.f + 1 then begin
+                match t.status with
+                | View_changing v when v >= new_view -> ()
+                | _ -> move_to_view t new_view
+              end
+            end
+        | Msg.New_view { view; view_change_envelopes; batches; replica } ->
+            if
+              view > t.view
+              && Config.primary_of_view t.cfg view = replica
+              && replica <> t.id
+            then begin
+              match compute_new_view_batches t.cfg view_change_envelopes with
+              | Some expected when expected = batches -> enter_new_view t view batches
+              | _ ->
+                  Log.debug (fun m -> m "pbft %d: invalid new-view from %d" t.id replica)
+            end
+        | Msg.Fetch { from_seq; replica } -> handle_fetch t ~from_seq ~replica
+        | Msg.Fetch_reply { batches; replica } ->
+            handle_fetch_reply t ~batches ~replica)
+
+let create transport cfg ~id ~execute () =
+  let engine = Network.engine (Bp_net.Transport.network transport) in
+  let t =
+    {
+      cfg;
+      id;
+      transport;
+      engine;
+      execute;
+      on_executed = (fun ~seq:_ _ -> ());
+      verifier = (fun ~kind:_ ~op:_ -> true);
+      view = 0;
+      status = Normal;
+      next_seq = 1;
+      slots = Int_map.empty;
+      low_watermark = 0;
+      last_exec = 0;
+      chain = Bp_crypto.Sha256.digest "pbft-genesis";
+      queue = Queue.create ();
+      queued_keys = [];
+      in_flight = false;
+      last_reply = Hashtbl.create 32;
+      timers = Hashtbl.create 32;
+      checkpoints = Int_map.empty;
+      own_checkpoints = Int_map.empty;
+      view_changes = Int_map.empty;
+      vc_timer = None;
+      archive = Hashtbl.create 128;
+      fetch_votes = Hashtbl.create 32;
+      fetching = false;
+      stopped = false;
+      suppress_commits = false;
+    }
+  in
+  (* Sequence 0 is a virtual, pre-executed genesis slot. *)
+  t.own_checkpoints <- Int_map.add 0 t.chain t.own_checkpoints;
+  Bp_net.Transport.set_handler transport ~tag:cfg.Config.tag (fun ~src payload ->
+      on_envelope t ~src payload);
+  t
+
+let stop t =
+  t.stopped <- true;
+  Hashtbl.iter (fun _ timer -> Engine.cancel timer) t.timers;
+  Hashtbl.reset t.timers;
+  (match t.vc_timer with Some timer -> Engine.cancel timer | None -> ());
+  t.vc_timer <- None;
+  Bp_net.Transport.clear_handler t.transport ~tag:t.cfg.Config.tag

@@ -1,0 +1,56 @@
+(** A PBFT replica (Castro & Liskov, OSDI'99) with the Blockplane
+    modifications of §IV-B.
+
+    Normal case: the view's primary batches client requests and drives
+    pre-prepare / prepare / commit; a request executes once the replica is
+    committed-local and all earlier sequences have executed. Replies go
+    directly to the client, which waits for f+1 matching ones.
+
+    Blockplane modifications:
+    - every request carries a record-type annotation ({!Msg.request.kind});
+    - after becoming *prepared* and before broadcasting its [Commit] vote,
+      a replica runs the registered verification routine on every request
+      of the batch and withholds the vote if any fails — so fewer than
+      2f+1 honest votes assemble for an invalid state transition.
+
+    Also implemented: stable checkpoints with watermarks and garbage
+    collection, and view changes (with prepared-certificates carried in
+    the view-change messages, so a new primary re-proposes exactly the
+    possibly-committed batches). *)
+
+type t
+
+val create :
+  Bp_net.Transport.t ->
+  Config.t ->
+  id:int ->
+  execute:(seq:int -> Msg.request -> string) ->
+  unit ->
+  t
+(** [execute] is the deterministic application upcall; it runs exactly
+    once per request, in global sequence order, on every correct replica;
+    its return value is the client-visible result. *)
+
+val id : t -> int
+val view : t -> int
+val is_primary : t -> bool
+val last_executed : t -> int
+val low_watermark : t -> int
+val exec_chain : t -> string
+(** Hash chain over executed batches — two replicas executed the same
+    prefix iff their chains agree. Also the checkpoint state digest. *)
+
+val set_verifier : t -> (kind:int -> op:string -> bool) -> unit
+(** Install the Blockplane verification routine (default: accept all). *)
+
+val set_on_executed : t -> (seq:int -> Msg.request list -> unit) -> unit
+(** Batch-level notification after execution (Blockplane's Local Log
+    append hook). *)
+
+val stop : t -> unit
+(** Detach from the transport and cancel timers (simulated host death;
+    distinct from a network-level crash, which keeps state). *)
+
+val suppress_commit_votes : t -> bool -> unit
+(** Byzantine test knob: a faulty replica that stays silent in the commit
+    phase. *)

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Addr Array Bp_util Bytes Char Engine List Printf String Time Topology

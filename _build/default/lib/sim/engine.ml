@@ -1,0 +1,160 @@
+type timer = { mutable cancelled : bool }
+
+type event = {
+  fire_at : Time.t;
+  seq : int;
+  action : unit -> unit;
+  timer : timer;
+  repeat : Time.t option;
+}
+
+module Heap = struct
+  (* Binary min-heap ordered by (fire_at, seq). *)
+  type t = { mutable a : event array; mutable len : int }
+
+  let dummy =
+    {
+      fire_at = Time.zero;
+      seq = -1;
+      action = ignore;
+      timer = { cancelled = true };
+      repeat = None;
+    }
+
+  let create () = { a = Array.make 64 dummy; len = 0 }
+
+  let less x y =
+    let c = Time.compare x.fire_at y.fire_at in
+    if c <> 0 then c < 0 else x.seq < y.seq
+
+  let swap h i j =
+    let tmp = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less h.a.(i) h.a.(parent) then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.len && less h.a.(l) h.a.(!smallest) then smallest := l;
+    if r < h.len && less h.a.(r) h.a.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let bigger = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 bigger 0 h.len;
+      h.a <- bigger
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    sift_up h (h.len - 1)
+
+  let peek h = if h.len = 0 then None else Some h.a.(0)
+
+  let pop h =
+    match peek h with
+    | None -> None
+    | Some top ->
+        h.len <- h.len - 1;
+        h.a.(0) <- h.a.(h.len);
+        h.a.(h.len) <- dummy;
+        if h.len > 0 then sift_down h 0;
+        Some top
+end
+
+type t = {
+  heap : Heap.t;
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  rng : Bp_util.Rng.t;
+}
+
+let create ?(seed = 1L) () =
+  { heap = Heap.create (); clock = Time.zero; next_seq = 0; rng = Bp_util.Rng.create seed }
+
+let now t = t.clock
+let rng t = t.rng
+
+let enqueue t ~at ~repeat ~timer action =
+  let e = { fire_at = at; seq = t.next_seq; action; timer; repeat } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.heap e;
+  timer
+
+let schedule_at t at action =
+  if Time.(at < t.clock) then invalid_arg "Engine.schedule_at: in the past";
+  enqueue t ~at ~repeat:None ~timer:{ cancelled = false } action
+
+let schedule t ~after action =
+  enqueue t ~at:(Time.add t.clock after) ~repeat:None ~timer:{ cancelled = false } action
+
+let periodic t ~every action =
+  if Time.to_ns every <= 0 then invalid_arg "Engine.periodic: period must be positive";
+  enqueue t ~at:(Time.add t.clock every) ~repeat:(Some every)
+    ~timer:{ cancelled = false } action
+
+let cancel (timer : timer) = timer.cancelled <- true
+
+let pending t =
+  let n = ref 0 in
+  for i = 0 to t.heap.Heap.len - 1 do
+    if not t.heap.Heap.a.(i).timer.cancelled then incr n
+  done;
+  !n
+
+let step t =
+  let rec next () =
+    match Heap.pop t.heap with
+    | None -> false
+    | Some e ->
+        if e.timer.cancelled then next ()
+        else begin
+          (* Re-arm periodic timers before running the action so the
+             action can cancel its own timer. *)
+          (match e.repeat with
+          | Some every ->
+              ignore
+                (enqueue t ~at:(Time.add e.fire_at every) ~repeat:(Some every)
+                   ~timer:e.timer e.action)
+          | None -> ());
+          t.clock <- e.fire_at;
+          e.action ();
+          true
+        end
+  in
+  next ()
+
+let run ?until ?(max_events = 50_000_000) t =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.heap with
+    | None -> continue := false
+    | Some e ->
+        let beyond =
+          match until with Some u -> Time.(e.fire_at > u) | None -> false
+        in
+        if beyond then begin
+          (match until with Some u -> t.clock <- Time.max t.clock u | None -> ());
+          continue := false
+        end
+        else if e.timer.cancelled then ignore (Heap.pop t.heap)
+        else begin
+          ignore (step t);
+          incr fired;
+          if !fired >= max_events then
+            failwith "Engine.run: max_events exceeded (runaway simulation?)"
+        end
+  done

@@ -1,0 +1,42 @@
+(** The discrete-event simulation engine.
+
+    Events are closures scheduled at virtual times. Two events at the same
+    instant fire in scheduling order (a monotone sequence number breaks
+    ties), which — together with {!Bp_util.Rng} — makes whole simulations
+    deterministic for a given seed. *)
+
+type t
+
+type timer
+(** Handle for a scheduled event; can be cancelled before it fires. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Default seed is 1. *)
+
+val now : t -> Time.t
+
+val rng : t -> Bp_util.Rng.t
+(** The engine's root generator; split it per component. *)
+
+val schedule : t -> after:Time.t -> (unit -> unit) -> timer
+(** Fire the closure [after] virtual time from now. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> timer
+(** Fire at an absolute time, which must not be in the past. *)
+
+val periodic : t -> every:Time.t -> (unit -> unit) -> timer
+(** Fire repeatedly until cancelled. The first firing is [every] from now. *)
+
+val cancel : timer -> unit
+(** Idempotent; cancelling a fired timer is a no-op. *)
+
+val pending : t -> int
+(** Live (uncancelled, unfired) events. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Drain the queue. [until] stops the clock at that instant (events beyond
+    it stay queued); [max_events] bounds work as a runaway guard
+    (default 50 million). *)
+
+val step : t -> bool
+(** Execute the single next event; [false] if the queue is empty. *)

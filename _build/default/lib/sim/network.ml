@@ -1,0 +1,170 @@
+type faults = {
+  drop : float;
+  duplicate : float;
+  corrupt : float;
+  jitter_ms : float;
+}
+
+let no_faults = { drop = 0.0; duplicate = 0.0; corrupt = 0.0; jitter_ms = 0.0 }
+
+type counters = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  corrupted : int;
+  duplicated : int;
+  bytes_sent : int;
+}
+
+type node_state = {
+  handler : src:Addr.t -> string -> unit;
+  mutable crashed : bool;
+  mutable nic_busy_until : Time.t;
+}
+
+type t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  mutable faults : faults;
+  nodes : node_state Addr.Tbl.t;
+  rng : Bp_util.Rng.t;
+  mutable down_links : (int * int) list;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable bytes_sent : int;
+  traffic : int array array; (* bytes by (src dc, dst dc) *)
+}
+
+let create engine topology ?(faults = no_faults) () =
+  {
+    engine;
+    topology;
+    faults;
+    nodes = Addr.Tbl.create 64;
+    rng = Bp_util.Rng.split (Engine.rng engine);
+    down_links = [];
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    corrupted = 0;
+    duplicated = 0;
+    bytes_sent = 0;
+    traffic =
+      (let n = Topology.num_dcs topology in
+       Array.make_matrix n n 0);
+  }
+
+let engine t = t.engine
+let topology t = t.topology
+let set_faults t faults = t.faults <- faults
+
+let register t addr handler =
+  if Addr.Tbl.mem t.nodes addr then
+    invalid_arg (Printf.sprintf "Network.register: %s already registered" (Addr.to_string addr));
+  Addr.Tbl.add t.nodes addr { handler; crashed = false; nic_busy_until = Time.zero }
+
+let is_crashed t addr =
+  match Addr.Tbl.find_opt t.nodes addr with
+  | Some n -> n.crashed
+  | None -> true
+
+let crash t addr =
+  match Addr.Tbl.find_opt t.nodes addr with
+  | Some n -> n.crashed <- true
+  | None -> ()
+
+let recover t addr =
+  match Addr.Tbl.find_opt t.nodes addr with
+  | Some n -> n.crashed <- false
+  | None -> ()
+
+let crash_dc t dc =
+  Addr.Tbl.iter (fun a n -> if a.Addr.dc = dc then n.crashed <- true) t.nodes
+
+let recover_dc t dc =
+  Addr.Tbl.iter (fun a n -> if a.Addr.dc = dc then n.crashed <- false) t.nodes
+
+let set_link t a b state =
+  let key = (min a b, max a b) in
+  match state with
+  | `Down -> if not (List.mem key t.down_links) then t.down_links <- key :: t.down_links
+  | `Up -> t.down_links <- List.filter (fun k -> k <> key) t.down_links
+
+let link_down t a b =
+  a <> b && List.mem (min a b, max a b) t.down_links
+
+let flip_byte rng payload =
+  if String.length payload = 0 then payload
+  else begin
+    let b = Bytes.of_string payload in
+    let i = Bp_util.Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Bp_util.Rng.int rng 8)));
+    Bytes.unsafe_to_string b
+  end
+
+let deliver t ~src ~dst payload =
+  match Addr.Tbl.find_opt t.nodes dst with
+  | None -> t.dropped <- t.dropped + 1
+  | Some node ->
+      if node.crashed then t.dropped <- t.dropped + 1
+      else begin
+        t.delivered <- t.delivered + 1;
+        node.handler ~src payload
+      end
+
+let send t ~src ~dst payload =
+  t.sent <- t.sent + 1;
+  t.bytes_sent <- t.bytes_sent + String.length payload;
+  t.traffic.(src.Addr.dc).(dst.Addr.dc) <-
+    t.traffic.(src.Addr.dc).(dst.Addr.dc) + String.length payload;
+  match Addr.Tbl.find_opt t.nodes src with
+  | None -> t.dropped <- t.dropped + 1
+  | Some sender ->
+      if sender.crashed then t.dropped <- t.dropped + 1
+      else if link_down t src.Addr.dc dst.Addr.dc then t.dropped <- t.dropped + 1
+      else begin
+        let now = Engine.now t.engine in
+        let serialization = Topology.transfer_time t.topology (String.length payload) in
+        let depart = Time.add (Time.max now sender.nic_busy_until) serialization in
+        sender.nic_busy_until <- depart;
+        let propagation = Topology.one_way t.topology src.Addr.dc dst.Addr.dc in
+        let jitter =
+          if t.faults.jitter_ms > 0.0 then
+            Time.of_ms (Bp_util.Rng.float t.rng t.faults.jitter_ms)
+          else Time.zero
+        in
+        let arrive = Time.add (Time.add depart propagation) jitter in
+        if Bp_util.Rng.bernoulli t.rng t.faults.drop then t.dropped <- t.dropped + 1
+        else begin
+          let payload =
+            if Bp_util.Rng.bernoulli t.rng t.faults.corrupt then begin
+              t.corrupted <- t.corrupted + 1;
+              flip_byte t.rng payload
+            end
+            else payload
+          in
+          ignore
+            (Engine.schedule_at t.engine arrive (fun () -> deliver t ~src ~dst payload));
+          if Bp_util.Rng.bernoulli t.rng t.faults.duplicate then begin
+            t.duplicated <- t.duplicated + 1;
+            let again = Time.add arrive (Time.of_ms 0.1) in
+            ignore
+              (Engine.schedule_at t.engine again (fun () -> deliver t ~src ~dst payload))
+          end
+        end
+      end
+
+let traffic_matrix t = Array.map Array.copy t.traffic
+
+let counters t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    corrupted = t.corrupted;
+    duplicated = t.duplicated;
+    bytes_sent = t.bytes_sent;
+  }

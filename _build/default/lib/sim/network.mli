@@ -1,0 +1,71 @@
+(** The simulated datagram network.
+
+    Delivery cost of a message of [b] bytes from node [s] to node [d]:
+
+    - the sender's NIC serializes at the topology bandwidth, so the packet
+      departs at [max(now, nic_busy_until(s)) + b/bandwidth] — this shared
+      egress queue is what produces the throughput plateau of Fig. 4(b);
+    - propagation adds [one_way(s.dc, d.dc)] (or the intra-DC latency);
+    - optional fault injection may drop, duplicate, corrupt (flip a byte)
+      or jitter the packet.
+
+    Delivery is *not* reliable or ordered — {!Bp_net.Channel} builds that.
+    Crashed nodes neither send nor receive. *)
+
+type t
+
+type faults = {
+  drop : float;  (** probability a packet vanishes *)
+  duplicate : float;  (** probability a packet is delivered twice *)
+  corrupt : float;  (** probability one byte is flipped in flight *)
+  jitter_ms : float;  (** extra delay, uniform in [0, jitter_ms] *)
+}
+
+val no_faults : faults
+
+val create : Engine.t -> Topology.t -> ?faults:faults -> unit -> t
+
+val engine : t -> Engine.t
+val topology : t -> Topology.t
+val set_faults : t -> faults -> unit
+
+val register : t -> Addr.t -> (src:Addr.t -> string -> unit) -> unit
+(** Attach a node's receive handler. @raise Invalid_argument if already
+    registered. *)
+
+val send : t -> src:Addr.t -> dst:Addr.t -> string -> unit
+(** Fire-and-forget datagram. Sends from/to crashed or unregistered nodes
+    are silently dropped (the sender cannot tell — like UDP). *)
+
+val crash : t -> Addr.t -> unit
+(** The node stops sending and receiving until {!recover}. In-flight
+    packets to it are lost. *)
+
+val recover : t -> Addr.t -> unit
+val is_crashed : t -> Addr.t -> bool
+
+val crash_dc : t -> int -> unit
+(** Geo-correlated outage: crash every registered node in a datacenter. *)
+
+val recover_dc : t -> int -> unit
+
+val set_link : t -> int -> int -> [ `Up | `Down ] -> unit
+(** Administratively partition a pair of datacenters (both directions). *)
+
+(** Counters since creation (delivered duplicates and corrupted-but-
+    delivered packets count as delivered). *)
+type counters = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  corrupted : int;
+  duplicated : int;
+  bytes_sent : int;
+}
+
+val counters : t -> counters
+
+val traffic_matrix : t -> int array array
+(** [traffic_matrix t].(i).(j) = bytes offered from datacenter [i] to
+    datacenter [j] (including dropped packets). Quantifies locality:
+    diagonal = intra-datacenter traffic. *)

@@ -1,0 +1,31 @@
+type t = int
+
+let zero = 0
+
+let of_ns n =
+  if n < 0 then invalid_arg "Time.of_ns: negative";
+  n
+
+let of_us n = of_ns (n * 1_000)
+let of_ms ms = of_ns (int_of_float (ms *. 1e6 +. 0.5))
+let of_sec s = of_ns (int_of_float (s *. 1e9 +. 0.5))
+
+let to_ns t = t
+let to_ms t = float_of_int t /. 1e6
+let to_sec t = float_of_int t /. 1e9
+
+let add = ( + )
+
+let diff a b =
+  if a < b then invalid_arg "Time.diff: negative";
+  a - b
+
+let scale t f = of_ns (int_of_float (float_of_int t *. f +. 0.5))
+let max = Stdlib.max
+let compare = Stdlib.compare
+let ( < ) = Stdlib.( < )
+let ( <= ) = Stdlib.( <= )
+let ( > ) = Stdlib.( > )
+let ( >= ) = Stdlib.( >= )
+
+let pp ppf t = Format.fprintf ppf "%.3fms" (to_ms t)

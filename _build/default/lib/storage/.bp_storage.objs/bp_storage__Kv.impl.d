@@ -1,0 +1,1 @@
+lib/storage/kv.ml: Bp_codec Bp_crypto Map Printf String

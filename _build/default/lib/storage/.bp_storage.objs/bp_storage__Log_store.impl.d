@@ -1,0 +1,1 @@
+lib/storage/log_store.ml: Array Bp_crypto List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Bp_codec Buffer Bytes Char List Stdlib String

@@ -1,0 +1,37 @@
+(** A deterministic in-memory key-value store with serializable operations.
+
+    This is the application state machine used by the replicated examples:
+    operations have a wire encoding (so they can be carried in Local Log
+    records) and applying an operation is deterministic, as Blockplane
+    requires of user protocols (§III-C). *)
+
+type t
+
+type op =
+  | Put of string * string
+  | Delete of string
+  | Add of string * int
+      (** Numeric add on a decimal-encoded value; fails on non-numeric. *)
+  | Cas of string * string option * string
+      (** Compare-and-swap: expected current value (None = absent). *)
+
+type outcome = Applied | Failed of string
+
+val create : unit -> t
+val copy : t -> t
+val get : t -> string -> string option
+val bindings : t -> (string * string) list
+(** Sorted by key. *)
+
+val apply : t -> op -> outcome
+(** Mutates the store; [Failed] leaves it untouched. *)
+
+val can_apply : t -> op -> bool
+(** Pure check whether [apply] would succeed — verification-routine
+    building block. *)
+
+val digest : t -> string
+(** SHA-256 over the sorted bindings: equal iff states are equal. *)
+
+val encode_op : op -> string
+val decode_op : string -> (op, string) result

@@ -1,0 +1,37 @@
+type t = { buf : Buffer.t; mutable recs : string list (* newest first *) }
+
+let create () = { buf = Buffer.create 256; recs = [] }
+
+let append t payload =
+  Buffer.add_string t.buf (Bp_codec.Frame.seal payload);
+  t.recs <- payload :: t.recs
+
+let size t = Buffer.length t.buf
+let contents t = Buffer.contents t.buf
+let records t = List.rev t.recs
+
+let of_contents image =
+  let t = create () in
+  let len = String.length image in
+  let rec scan off =
+    if off >= len then 0
+    else
+      match Bp_codec.Frame.unseal_prefix image ~off with
+      | Ok (payload, consumed) ->
+          append t payload;
+          scan (off + consumed)
+      | Error (`Corrupt | `Malformed) -> len - off
+  in
+  let discarded = scan 0 in
+  (t, discarded)
+
+let truncate_tail t n =
+  let image = contents t in
+  let keep = Stdlib.max 0 (String.length image - n) in
+  fst (of_contents (String.sub image 0 keep))
+
+let corrupt_byte t off =
+  let image = Bytes.of_string (contents t) in
+  if off < 0 || off >= Bytes.length image then invalid_arg "Wal.corrupt_byte";
+  Bytes.set image off (Char.chr (Char.code (Bytes.get image off) lxor 0x40));
+  fst (of_contents (Bytes.to_string image))

@@ -1,0 +1,31 @@
+(** Write-ahead log encoding with crash recovery.
+
+    Serializes a sequence of records into a byte image (standing in for a
+    disk file in the simulation) as CRC-framed records. Recovery scans from
+    the start and stops at the first torn or corrupt record, recovering
+    exactly the durable prefix — the semantics Blockplane nodes need to
+    restart after a crash (§VI-B). *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> string -> unit
+
+val size : t -> int
+(** Bytes of the on-disk image. *)
+
+val contents : t -> string
+(** The raw image (what would be on disk). *)
+
+val of_contents : string -> t * int
+(** Rebuild from a (possibly damaged) image. Returns the WAL holding every
+    intact record plus the count of trailing bytes discarded. *)
+
+val records : t -> string list
+
+val truncate_tail : t -> int -> t
+(** [truncate_tail t n] simulates a crash that lost the last [n] bytes. *)
+
+val corrupt_byte : t -> int -> t
+(** Flip one byte of the image at the given offset (fault injection). *)

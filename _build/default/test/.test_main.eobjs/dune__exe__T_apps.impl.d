@@ -1,0 +1,1 @@
+test/t_apps.ml: Alcotest Api App Array Bank Blockplane Bp_apps Bp_sim Byz_paxos Counter Deployment Engine Hier_pbft List Network Printf Record Time Topology

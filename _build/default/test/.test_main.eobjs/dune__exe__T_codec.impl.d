@@ -1,0 +1,1 @@
+test/t_codec.ml: Alcotest Bp_codec Bytes Char Frame Gen List QCheck QCheck_alcotest String Wire

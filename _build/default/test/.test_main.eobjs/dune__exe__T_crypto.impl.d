@@ -1,0 +1,1 @@
+test/t_crypto.ml: Alcotest Bp_crypto Bp_util Bytes Char Crc32 Gen Hex Hmac Lamport List Merkle Merkle_sig Printf QCheck QCheck_alcotest Rng Sha256 Signer String

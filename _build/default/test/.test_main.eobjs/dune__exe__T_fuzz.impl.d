@@ -1,0 +1,1 @@
+test/t_fuzz.ml: Blockplane Bp_codec Bp_paxos Bp_pbft Bp_storage Bytes Char Gen List Printexc QCheck QCheck_alcotest String

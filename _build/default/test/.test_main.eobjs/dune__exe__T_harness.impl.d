@@ -1,0 +1,1 @@
+test/t_harness.ml: Alcotest Bp_harness Bp_sim Bp_util Exp_comm Exp_consensus Exp_costs Exp_geo Exp_local Exp_locality Experiments List Printf Report Runner Stdlib String Workload

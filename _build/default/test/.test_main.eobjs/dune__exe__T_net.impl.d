@@ -1,0 +1,1 @@
+test/t_net.ml: Addr Alcotest Bp_net Bp_sim Engine Heartbeat List Network Time Topology Transport

@@ -1,0 +1,1 @@
+test/t_paxos.ml: Addr Alcotest Array Ballot Bp_net Bp_paxos Bp_sim Engine Hashtbl Int64 List Msg Network Printf Replica Time Topology

@@ -1,0 +1,1 @@
+test/t_pbft.ml: Addr Alcotest Array Bp_crypto Bp_net Bp_pbft Bp_sim Bp_util Client Config Engine Hashtbl Int64 List Msg Network Printf Replica Stdlib String Time Topology

@@ -1,0 +1,1 @@
+test/t_scale.ml: Addr Alcotest Api App Array Blockplane Bp_pbft Bp_sim Bp_storage Bp_util Deployment Engine Geo List Network Printf Stdlib Time Topology Unit_node

@@ -1,0 +1,1 @@
+test/t_sim.ml: Addr Alcotest Bp_sim Bp_util Engine Fun List Network Option String Time Topology

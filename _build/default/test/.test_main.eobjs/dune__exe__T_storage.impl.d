@@ -1,0 +1,1 @@
+test/t_storage.ml: Alcotest Bp_codec Bp_storage Gen Kv List Log_store Option QCheck QCheck_alcotest String Wal

@@ -1,0 +1,1 @@
+test/t_two_phase.ml: Alcotest Api App Array Blockplane Bp_apps Bp_codec Bp_sim Bp_storage Deployment Engine List Network Printf Record Time Topology Two_phase

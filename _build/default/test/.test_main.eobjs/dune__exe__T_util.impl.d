@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Bp_util Bytes Fun Gen Hex List QCheck QCheck_alcotest Rng Stats String Tablefmt

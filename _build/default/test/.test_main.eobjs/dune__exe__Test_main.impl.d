@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_adversarial T_apps T_blockplane T_codec T_crypto T_fuzz T_harness T_net T_paxos T_pbft T_recovery T_scale T_sim T_storage T_two_phase T_util

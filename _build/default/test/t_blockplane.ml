@@ -1,0 +1,503 @@
+open Bp_sim
+open Blockplane
+
+let ms = Time.of_ms
+
+type world = {
+  engine : Engine.t;
+  net : Network.t;
+  dep : Deployment.t;
+}
+
+let make_world ?(fi = 1) ?(fg = 0) ?faults ?(seed = 51L)
+    ?(app = fun () -> App.make (module App.Null)) ?(n_participants = 4) () =
+  let engine = Engine.create ~seed () in
+  let net = Network.create engine Topology.aws_paper ?faults () in
+  let dep = Deployment.create ~network:net ~n_participants ~fi ~fg ~app () in
+  { engine; net; dep }
+
+let run w t = Engine.run ~until:t w.engine
+
+let test_record_codec_roundtrip () =
+  let records =
+    [
+      Record.Commit "state change";
+      Record.Comm { Record.dest = 2; comm_seq = 5; payload = "msg" };
+      Record.Recv
+        {
+          Record.src = 1;
+          tdest = 0;
+          tcomm_seq = 3;
+          log_pos = 17;
+          tpayload = "payload";
+          proofs = [ ("u1/n1.0", "sig") ];
+          geo_proofs = [ (2, [ ("u2/n2.0", "gsig") ]) ];
+        };
+      Record.Mirrored { owner = 0; opos = 9; ovalue = "entry" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Record.decode (Record.encode r) with
+      | Ok r' -> Alcotest.(check bool) "roundtrip" true (r = r')
+      | Error e -> Alcotest.fail e)
+    records
+
+let test_log_commit_roundtrip () =
+  let w = make_world () in
+  let api = Deployment.api w.dep 0 in
+  let committed = ref 0 in
+  Api.log_commit api "event-1" ~on_done:(fun () -> incr committed);
+  Api.log_commit api "event-2" ~on_done:(fun () -> incr committed);
+  run w (Time.of_sec 2.0);
+  Alcotest.(check int) "both committed" 2 !committed;
+  Alcotest.(check bool) "unit logs agree" true (Deployment.logs_agree w.dep 0);
+  Alcotest.(check bool) "app replicas agree" true (Deployment.app_digests_agree w.dep 0);
+  (* Both records are readable. *)
+  match (Api.read api 0, Api.read api 1) with
+  | Some (Record.Commit _), Some (Record.Commit _) -> ()
+  | _ -> Alcotest.fail "expected two commit records in the log"
+
+let test_send_receive_end_to_end () =
+  let w = make_world () in
+  let api0 = Deployment.api w.dep 0 in
+  let api1 = Deployment.api w.dep 1 in
+  let got = ref [] in
+  Api.on_receive api1 (fun ~src payload -> got := (src, payload) :: !got);
+  Api.send api0 ~dest:1 "hello from C" ~on_done:ignore;
+  run w (Time.of_sec 2.0);
+  Alcotest.(check (list (pair int string))) "delivered" [ (0, "hello from C") ] !got;
+  Alcotest.(check bool) "destination logs agree" true (Deployment.logs_agree w.dep 1)
+
+let test_send_receive_latency_shape () =
+  (* Fig. 6 shape: one-way C->O delivery = half the 19 ms RTT plus two
+     local commits and a signature round — roughly 11-15 ms. *)
+  let w = make_world () in
+  let api0 = Deployment.api w.dep Topology.dc_california in
+  let api1 = Deployment.api w.dep Topology.dc_oregon in
+  let arrival = ref Time.zero in
+  Api.on_receive api1 (fun ~src:_ _ -> arrival := Engine.now w.engine);
+  let started = Engine.now w.engine in
+  Api.send api0 ~dest:Topology.dc_oregon "timed" ~on_done:ignore;
+  run w (Time.of_sec 2.0);
+  let one_way = Time.to_ms (Time.diff !arrival started) in
+  Alcotest.(check bool)
+    (Printf.sprintf "one-way %.2fms in [10, 18]" one_way)
+    true
+    (one_way >= 10.0 && one_way <= 18.0)
+
+let test_receive_ordering () =
+  let w = make_world () in
+  let api0 = Deployment.api w.dep 0 in
+  let api1 = Deployment.api w.dep 1 in
+  let got = ref [] in
+  Api.on_receive api1 (fun ~src:_ payload -> got := payload :: !got);
+  for i = 1 to 10 do
+    Api.send api0 ~dest:1 (Printf.sprintf "m%d" i) ~on_done:ignore
+  done;
+  run w (Time.of_sec 5.0);
+  Alcotest.(check (list string)) "in order"
+    (List.init 10 (fun i -> Printf.sprintf "m%d" (i + 1)))
+    (List.rev !got)
+
+let test_receive_exactly_once_under_faults () =
+  let faults = { Network.no_faults with drop = 0.05; duplicate = 0.1 } in
+  let w = make_world ~faults ~seed:52L () in
+  let api0 = Deployment.api w.dep 0 in
+  let api1 = Deployment.api w.dep 1 in
+  let got = ref [] in
+  Api.on_receive api1 (fun ~src:_ payload -> got := payload :: !got);
+  for i = 1 to 8 do
+    Api.send api0 ~dest:1 (Printf.sprintf "m%d" i) ~on_done:ignore
+  done;
+  run w (Time.of_sec 20.0);
+  Alcotest.(check (list string)) "exactly once, in order (Lemma 2)"
+    (List.init 8 (fun i -> Printf.sprintf "m%d" (i + 1)))
+    (List.rev !got)
+
+let test_poll_receive () =
+  let w = make_world () in
+  let api0 = Deployment.api w.dep 0 in
+  let api2 = Deployment.api w.dep 2 in
+  Api.send api0 ~dest:2 "polled" ~on_done:ignore;
+  run w (Time.of_sec 2.0);
+  Alcotest.(check (option string)) "poll returns message" (Some "polled")
+    (Api.receive api2 ~src:0);
+  Alcotest.(check (option string)) "buffer drained" None (Api.receive api2 ~src:0)
+
+let test_bidirectional_traffic () =
+  let w = make_world () in
+  let api0 = Deployment.api w.dep 0 in
+  let api1 = Deployment.api w.dep 1 in
+  let got0 = ref [] and got1 = ref [] in
+  Api.on_receive api0 (fun ~src payload -> got0 := (src, payload) :: !got0);
+  Api.on_receive api1 (fun ~src payload ->
+      got1 := (src, payload) :: !got1;
+      Api.send api1 ~dest:0 ("re:" ^ payload) ~on_done:ignore);
+  Api.send api0 ~dest:1 "ping" ~on_done:ignore;
+  run w (Time.of_sec 3.0);
+  Alcotest.(check (list (pair int string))) "request" [ (0, "ping") ] !got1;
+  Alcotest.(check (list (pair int string))) "response" [ (1, "re:ping") ] !got0
+
+let test_all_pairs_traffic () =
+  let w = make_world () in
+  let received = Array.make 4 0 in
+  for p = 0 to 3 do
+    Api.on_receive (Deployment.api w.dep p) (fun ~src:_ _ ->
+        received.(p) <- received.(p) + 1)
+  done;
+  for src = 0 to 3 do
+    for dst = 0 to 3 do
+      if src <> dst then
+        Api.send (Deployment.api w.dep src) ~dest:dst "x" ~on_done:ignore
+    done
+  done;
+  run w (Time.of_sec 5.0);
+  Array.iteri
+    (fun p n -> Alcotest.(check int) (Printf.sprintf "participant %d" p) 3 n)
+    received
+
+let test_forged_transmission_rejected () =
+  (* A byzantine node at the destination proposes a received record that
+     was never actually sent (Algorithm 1's attack: incrementing the
+     counter without a message). The verification routine must reject it. *)
+  let w = make_world () in
+  let api1 = Deployment.api w.dep 1 in
+  let forged =
+    Record.Recv
+      {
+        Record.src = 0;
+        tdest = 1;
+        tcomm_seq = 0;
+        log_pos = 0;
+        tpayload = "forged!";
+        proofs = [];
+        geo_proofs = [];
+      }
+  in
+  let rejected = ref false and committed = ref false in
+  Api.submit_record api1 forged
+    ~on_done:(fun () -> committed := true)
+    ~on_rejected:(fun () -> rejected := true);
+  run w (Time.of_sec 5.0);
+  Alcotest.(check bool) "rejected" true !rejected;
+  Alcotest.(check bool) "not committed" false !committed;
+  Alcotest.(check int) "nothing received" (-1)
+    (Unit_node.last_received (Deployment.node w.dep 1 0) ~src:0)
+
+let test_single_byzantine_signature_insufficient () =
+  (* One byzantine source node signs a fabricated transmission; fi+1 = 2
+     valid signatures are required, so the destination must reject it. *)
+  let w = make_world () in
+  let byz = Deployment.node w.dep 0 3 in
+  Unit_node.set_byzantine_sign_anything byz true;
+  let fake =
+    {
+      Record.src = 0;
+      tdest = 1;
+      tcomm_seq = 0;
+      log_pos = 0;
+      tpayload = "fabricated";
+      proofs = [];
+      geo_proofs = [];
+    }
+  in
+  let proofs =
+    match Unit_node.sign_transmission byz fake with
+    | Some pair -> [ pair ]
+    | None -> Alcotest.fail "byzantine node should sign anything"
+  in
+  let fake = { fake with Record.proofs } in
+  (* Deliver it straight to a destination node, bypassing honest daemons. *)
+  Bp_net.Transport.send (Unit_node.transport byz)
+    ~dst:(Deployment.unit_addrs w.dep 1).(0)
+    ~tag:(Proto.aux_tag 1)
+    (Proto.encode (Proto.Transmit { transmission = fake }));
+  run w (Time.of_sec 5.0);
+  Alcotest.(check int) "never delivered" (-1)
+    (Unit_node.last_received (Deployment.node w.dep 1 0) ~src:0);
+  let api1 = Deployment.api w.dep 1 in
+  Alcotest.(check (option string)) "no reception" None (Api.receive api1 ~src:0)
+
+let test_app_verification_blocks_commit () =
+  (* An app whose verification routine refuses payloads starting with
+     "bad": f+1 replicas pre-reject, the API surfaces the rejection, and
+     no replica applies the record (Lemma 3). *)
+  let module Picky = struct
+    type state = string list ref
+
+    let create () = ref []
+
+    let verify _ record =
+      match record with
+      | Record.Commit payload -> not (String.length payload >= 3 && String.sub payload 0 3 = "bad")
+      | _ -> true
+
+    let apply state record =
+      match record with
+      | Record.Commit payload -> state := payload :: !state
+      | _ -> ()
+
+    let digest state = Bp_crypto.Sha256.digest (String.concat ";" !state)
+    let describe state = String.concat ";" !state
+  end in
+  let w = make_world ~app:(fun () -> App.make (module Picky)) () in
+  let api = Deployment.api w.dep 0 in
+  let ok = ref false and rejected = ref false and bad_done = ref false in
+  Api.log_commit api "good-event" ~on_done:(fun () -> ok := true);
+  Api.log_commit api "bad-event"
+    ~on_rejected:(fun () -> rejected := true)
+    ~on_done:(fun () -> bad_done := true);
+  run w (Time.of_sec 5.0);
+  Alcotest.(check bool) "good committed" true !ok;
+  Alcotest.(check bool) "bad rejected" true !rejected;
+  Alcotest.(check bool) "bad never committed" false !bad_done;
+  Alcotest.(check bool) "replicas agree" true (Deployment.app_digests_agree w.dep 0)
+
+let test_malicious_daemon_reserve_promotion () =
+  let w = make_world () in
+  let api0 = Deployment.api w.dep 0 in
+  let api3 = Deployment.api w.dep 3 in
+  (* The active daemon 0->3 goes silent (maliciously delaying messages). *)
+  Comm_daemon.set_enabled (Deployment.daemon w.dep ~src:0 ~dest:3) false;
+  let got = ref [] in
+  Api.on_receive api3 (fun ~src:_ payload -> got := payload :: !got);
+  Api.send api0 ~dest:3 "delayed" ~on_done:ignore;
+  (* Reserves probe every 500 ms and need 3 consecutive gap sightings. *)
+  run w (Time.of_sec 15.0);
+  Alcotest.(check (list string)) "reserve delivered it" [ "delayed" ] !got;
+  let reserves = Deployment.reserves w.dep ~src:0 ~dest:3 in
+  Alcotest.(check bool) "some reserve promoted" true
+    (List.exists Reserve.promoted reserves)
+
+let test_no_spurious_promotion () =
+  let w = make_world () in
+  let api0 = Deployment.api w.dep 0 in
+  let api1 = Deployment.api w.dep 1 in
+  Api.on_receive api1 (fun ~src:_ _ -> ());
+  for i = 1 to 5 do
+    Api.send api0 ~dest:1 (string_of_int i) ~on_done:ignore
+  done;
+  run w (Time.of_sec 10.0);
+  let reserves = Deployment.reserves w.dep ~src:0 ~dest:1 in
+  Alcotest.(check bool) "healthy daemon, no promotion" false
+    (List.exists Reserve.promoted reserves)
+
+let test_read_strategies () =
+  let w = make_world () in
+  let api = Deployment.api w.dep 0 in
+  let done_ = ref false in
+  Api.log_commit api "readable" ~on_done:(fun () -> done_ := true);
+  run w (Time.of_sec 1.0);
+  Alcotest.(check bool) "committed" true !done_;
+  (* read-1 returns the entry. *)
+  (match Api.read api 0 with
+  | Some (Record.Commit "readable") -> ()
+  | _ -> Alcotest.fail "read-1 failed");
+  (* A byzantine lead node rewrites its local copy: read-1 now lies, but
+     the 2f+1 quorum read returns the truth. *)
+  Bp_storage.Log_store.tamper (Unit_node.log (Deployment.node w.dep 0 0)) 0
+    (Record.encode (Record.Commit "LIE"));
+  (match Api.read api 0 with
+  | Some (Record.Commit "LIE") -> ()
+  | _ -> Alcotest.fail "tamper should affect read-1");
+  let quorum_result = ref None in
+  Api.read_quorum api 0 ~on_result:(fun r -> quorum_result := r);
+  run w (Time.of_sec 2.0);
+  (match !quorum_result with
+  | Some (Record.Commit "readable") -> ()
+  | _ -> Alcotest.fail "quorum read failed to mask the liar");
+  (* Linearizable read commits a marker first. *)
+  let lin_result = ref None in
+  Api.read_linearizable api 0 ~on_result:(fun r -> lin_result := r);
+  run w (Time.of_sec 4.0);
+  match !lin_result with
+  | Some (Record.Commit "readable") -> ()
+  | _ -> Alcotest.fail "linearizable read failed"
+
+let test_geo_commit_latency () =
+  (* Fig. 5 shape: with fg=1, committing at California costs local commit
+     plus the 19 ms RTT to Oregon plus the mirror's local commit:
+     ~21-26 ms. *)
+  let w = make_world ~fg:1 () in
+  let api = Deployment.api w.dep Topology.dc_california in
+  let finished = ref Time.zero in
+  let started = Engine.now w.engine in
+  Api.log_commit api "geo" ~on_done:(fun () -> finished := Engine.now w.engine);
+  run w (Time.of_sec 3.0);
+  let lat = Time.to_ms (Time.diff !finished started) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fg=1 latency %.1fms in [20, 30]" lat)
+    true
+    (lat >= 20.0 && lat <= 30.0);
+  Alcotest.(check bool) "entry proved" true
+    (Geo.is_proved (Deployment.geo w.dep Topology.dc_california) ~pos:0)
+
+let test_geo_failover_reroutes () =
+  (* Fig. 8(a) shape: the closest mirror (Oregon) dies; California's geo
+     commits must reroute to the next mirror (Virginia) and keep going,
+     at higher latency. *)
+  let w = make_world ~fg:1 () in
+  let api = Deployment.api w.dep Topology.dc_california in
+  let lat = ref [] in
+  let commit_one () =
+    let s = Engine.now w.engine in
+    Api.log_commit api "x" ~on_done:(fun () ->
+        lat := Time.to_ms (Time.diff (Engine.now w.engine) s) :: !lat)
+  in
+  commit_one ();
+  run w (Time.of_sec 1.0);
+  Network.crash_dc w.net Topology.dc_oregon;
+  run w (Time.of_sec 3.0);
+  commit_one ();
+  run w (Time.of_sec 8.0);
+  match List.rev !lat with
+  | [ before; after ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "before %.1fms ~20-30" before)
+        true
+        (before >= 20.0 && before <= 30.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "after %.1fms >= 60 (Virginia)" after)
+        true
+        (after >= 60.0 && after <= 90.0)
+  | l -> Alcotest.failf "expected 2 commits, got %d" (List.length l)
+
+let test_geo_send_carries_proofs () =
+  let w = make_world ~fg:1 () in
+  let api0 = Deployment.api w.dep 0 in
+  let api1 = Deployment.api w.dep 1 in
+  let got = ref [] in
+  Api.on_receive api1 (fun ~src:_ payload -> got := payload :: !got);
+  Api.send api0 ~dest:1 "geo message" ~on_done:ignore;
+  run w (Time.of_sec 5.0);
+  Alcotest.(check (list string)) "delivered with geo proofs" [ "geo message" ] !got;
+  (* The received record in participant 1's log carries the fg bundles. *)
+  let log1 = Unit_node.log (Deployment.node w.dep 1 0) in
+  let found = ref false in
+  Bp_storage.Log_store.iter_from log1 0 (fun entry ->
+      match Record.decode entry.Bp_storage.Log_store.payload with
+      | Ok (Record.Recv tr) ->
+          if List.length tr.Record.geo_proofs >= 1 then found := true
+      | _ -> ());
+  Alcotest.(check bool) "geo proofs present in log" true !found
+
+let test_lemma1_agreement_under_byzantine_node () =
+  (* One byzantine node per unit (silent in commit phase) must not
+     prevent progress or agreement. *)
+  let w = make_world () in
+  for p = 0 to 3 do
+    Bp_pbft.Replica.suppress_commit_votes
+      (Unit_node.replica (Deployment.node w.dep p 3))
+      true
+  done;
+  let api0 = Deployment.api w.dep 0 in
+  let api1 = Deployment.api w.dep 1 in
+  let got = ref 0 in
+  Api.on_receive api1 (fun ~src:_ _ -> incr got);
+  let committed = ref 0 in
+  for _ = 1 to 3 do
+    Api.log_commit api0 "c" ~on_done:(fun () -> incr committed);
+    Api.send api0 ~dest:1 "m" ~on_done:ignore
+  done;
+  run w (Time.of_sec 10.0);
+  Alcotest.(check int) "commits proceed" 3 !committed;
+  Alcotest.(check int) "messages delivered" 3 !got;
+  Alcotest.(check bool) "source unit agreement" true (Deployment.logs_agree w.dep 0);
+  Alcotest.(check bool) "destination unit agreement" true (Deployment.logs_agree w.dep 1)
+
+(* Randomized whole-system property: arbitrary interleaved commit/send
+   workloads across all participants, under mild network faults and one
+   silent byzantine node per unit, must always end with (a) every send
+   delivered exactly once in per-pair order, (b) all units' logs in
+   agreement, (c) all app replicas in agreement. *)
+let test_randomized_workload_property () =
+  for seed = 1 to 6 do
+    let faults = { Network.no_faults with drop = 0.03; duplicate = 0.05 } in
+    let w = make_world ~faults ~seed:(Int64.of_int (9000 + seed)) () in
+    let rng = Bp_util.Rng.create (Int64.of_int (100 + seed)) in
+    (* One quiet byzantine replica per unit. *)
+    for p = 0 to 3 do
+      Bp_pbft.Replica.suppress_commit_votes
+        (Unit_node.replica (Deployment.node w.dep p 3))
+        true
+    done;
+    let expected = Array.make_matrix 4 4 [] in
+    let received = Array.make_matrix 4 4 [] in
+    (* One receive handler per destination, bucketing by source. *)
+    for dst = 0 to 3 do
+      Api.on_receive (Deployment.api w.dep dst) (fun ~src payload ->
+          received.(src).(dst) <- payload :: received.(src).(dst))
+    done;
+    let op_count = 25 in
+    for i = 1 to op_count do
+      let src = Bp_util.Rng.int rng 4 in
+      if Bp_util.Rng.bool rng then
+        Api.log_commit (Deployment.api w.dep src)
+          (Printf.sprintf "c-%d-%d" src i)
+          ~on_done:ignore
+      else begin
+        let dst = (src + 1 + Bp_util.Rng.int rng 3) mod 4 in
+        let payload = Printf.sprintf "m-%d-%d-%d" src dst i in
+        expected.(src).(dst) <- payload :: expected.(src).(dst);
+        Api.send (Deployment.api w.dep src) ~dest:dst payload ~on_done:ignore
+      end
+    done;
+    run w (Time.of_sec 60.0);
+    for src = 0 to 3 do
+      for dst = 0 to 3 do
+        Alcotest.(check (list string))
+          (Printf.sprintf "seed %d: %d->%d exactly once in order" seed src dst)
+          (List.rev expected.(src).(dst))
+          (List.rev received.(src).(dst))
+      done
+    done;
+    for p = 0 to 3 do
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: unit %d log agreement" seed p)
+        true
+        (Deployment.logs_agree w.dep p);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: unit %d app agreement" seed p)
+        true
+        (Deployment.app_digests_agree w.dep p)
+    done
+  done
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "blockplane.record",
+      [ tc "codec roundtrip" test_record_codec_roundtrip ] );
+    ( "blockplane.commit",
+      [
+        tc "log-commit roundtrip" test_log_commit_roundtrip;
+        tc "app verification blocks commit" test_app_verification_blocks_commit;
+        tc "read strategies" test_read_strategies;
+      ] );
+    ( "blockplane.comm",
+      [
+        tc "send/receive end to end" test_send_receive_end_to_end;
+        tc "latency shape (fig6)" test_send_receive_latency_shape;
+        tc "receive ordering" test_receive_ordering;
+        tc "exactly-once under faults (Lemma 2)" test_receive_exactly_once_under_faults;
+        tc "poll receive" test_poll_receive;
+        tc "bidirectional" test_bidirectional_traffic;
+        tc "all pairs" test_all_pairs_traffic;
+      ] );
+    ( "blockplane.byzantine",
+      [
+        tc "forged transmission rejected" test_forged_transmission_rejected;
+        tc "one byzantine signature insufficient" test_single_byzantine_signature_insufficient;
+        tc "malicious daemon -> reserve promotes" test_malicious_daemon_reserve_promotion;
+        tc "healthy daemon -> no promotion" test_no_spurious_promotion;
+        tc "agreement with byzantine nodes (Lemma 1)" test_lemma1_agreement_under_byzantine_node;
+        tc "randomized workload property" test_randomized_workload_property;
+      ] );
+    ( "blockplane.geo",
+      [
+        tc "fg=1 commit latency (fig5)" test_geo_commit_latency;
+        tc "mirror failover (fig8a shape)" test_geo_failover_reroutes;
+        tc "transmissions carry geo proofs" test_geo_send_carries_proofs;
+      ] );
+  ]

@@ -1,0 +1,171 @@
+open Bp_codec
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun n ->
+      let s = Wire.encode (fun e -> Wire.varint e n) in
+      match Wire.decode s Wire.read_varint with
+      | Ok m -> Alcotest.(check int) (string_of_int n) n m
+      | Error e -> Alcotest.fail e)
+    [ 0; 1; 127; 128; 129; 16383; 16384; 1 lsl 20; 1 lsl 40; max_int ]
+
+let test_varint_negative_rejected () =
+  (try
+     ignore (Wire.encode (fun e -> Wire.varint e (-1)));
+     Alcotest.fail "expected raise"
+   with Invalid_argument _ -> ())
+
+let test_zigzag_roundtrip () =
+  List.iter
+    (fun n ->
+      let s = Wire.encode (fun e -> Wire.zigzag e n) in
+      match Wire.decode s Wire.read_zigzag with
+      | Ok m -> Alcotest.(check int) (string_of_int n) n m
+      | Error e -> Alcotest.fail e)
+    [ 0; 1; -1; 2; -2; 1000; -1000; (1 lsl 40) - 1; -(1 lsl 40) ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s ->
+      let enc = Wire.encode (fun e -> Wire.string e s) in
+      match Wire.decode enc Wire.read_string with
+      | Ok s' -> Alcotest.(check string) "roundtrip" s s'
+      | Error e -> Alcotest.fail e)
+    [ ""; "x"; String.make 1000 'q'; "\x00\xff\x80" ]
+
+let test_composite_roundtrip () =
+  let enc =
+    Wire.encode (fun e ->
+        Wire.bool e true;
+        Wire.list e (Wire.string e) [ "a"; "bb"; "" ];
+        Wire.option e (Wire.varint e) (Some 42);
+        Wire.option e (Wire.varint e) None;
+        Wire.u8 e 200)
+  in
+  match
+    Wire.decode enc (fun d ->
+        let b = Wire.read_bool d in
+        let xs = Wire.read_list d Wire.read_string in
+        let o1 = Wire.read_option d Wire.read_varint in
+        let o2 = Wire.read_option d Wire.read_varint in
+        let u = Wire.read_u8 d in
+        (b, xs, o1, o2, u))
+  with
+  | Ok (b, xs, o1, o2, u) ->
+      Alcotest.(check bool) "bool" true b;
+      Alcotest.(check (list string)) "list" [ "a"; "bb"; "" ] xs;
+      Alcotest.(check (option int)) "some" (Some 42) o1;
+      Alcotest.(check (option int)) "none" None o2;
+      Alcotest.(check int) "u8" 200 u
+  | Error e -> Alcotest.fail e
+
+let test_decode_trailing_bytes () =
+  let enc = Wire.encode (fun e -> Wire.varint e 1) ^ "junk" in
+  match Wire.decode enc Wire.read_varint with
+  | Ok _ -> Alcotest.fail "expected trailing-bytes error"
+  | Error _ -> ()
+
+let test_decode_truncated () =
+  let enc = Wire.encode (fun e -> Wire.string e "hello") in
+  let cut = String.sub enc 0 (String.length enc - 2) in
+  match Wire.decode cut Wire.read_string with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_decode_hostile_list_length () =
+  (* A list claiming 2^40 elements must not allocate or loop. *)
+  let enc = Wire.encode (fun e -> Wire.varint e (1 lsl 40)) in
+  match Wire.decode enc (fun d -> Wire.read_list d Wire.read_varint) with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_decode_overlong_varint () =
+  let hostile = String.make 12 '\xff' in
+  match Wire.decode hostile Wire.read_varint with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun payload ->
+      match Frame.unseal (Frame.seal payload) with
+      | Ok p -> Alcotest.(check string) "roundtrip" payload p
+      | Error _ -> Alcotest.fail "unseal failed")
+    [ ""; "x"; String.make 4096 'z'; "\x00\x01\x02" ]
+
+let test_frame_detects_corruption () =
+  let frame = Bytes.of_string (Frame.seal "important payload") in
+  (* Flip one bit in the payload area. *)
+  let i = Bytes.length frame - 3 in
+  Bytes.set frame i (Char.chr (Char.code (Bytes.get frame i) lxor 0x10));
+  match Frame.unseal (Bytes.to_string frame) with
+  | Error `Corrupt -> ()
+  | Error `Malformed -> Alcotest.fail "expected Corrupt, got Malformed"
+  | Ok _ -> Alcotest.fail "corruption not detected"
+
+let test_frame_detects_header_damage () =
+  let frame = Frame.seal "payload" in
+  let broken = "XXXX" ^ String.sub frame 4 (String.length frame - 4) in
+  (match Frame.unseal broken with
+  | Error `Malformed -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  match Frame.unseal (String.sub frame 0 (Frame.overhead - 1)) with
+  | Error `Malformed -> ()
+  | _ -> Alcotest.fail "short frame accepted"
+
+let test_frame_rejects_truncated_payload () =
+  let frame = Frame.seal "0123456789" in
+  match Frame.unseal (String.sub frame 0 (String.length frame - 1)) with
+  | Error `Malformed -> ()
+  | _ -> Alcotest.fail "truncated frame accepted"
+
+let qcheck_wire_string_list =
+  QCheck.Test.make ~name:"wire list<string> roundtrip" ~count:300
+    QCheck.(list (string_of_size QCheck.Gen.(0 -- 50)))
+    (fun xs ->
+      let enc = Wire.encode (fun e -> Wire.list e (Wire.string e) xs) in
+      Wire.decode enc (fun d -> Wire.read_list d Wire.read_string) = Ok xs)
+
+let qcheck_wire_never_raises =
+  QCheck.Test.make ~name:"decoder total on random bytes" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      match
+        Wire.decode s (fun d ->
+            let _ = Wire.read_varint d in
+            let _ = Wire.read_string d in
+            Wire.read_list d Wire.read_bool)
+      with
+      | Ok _ | Error _ -> true)
+
+let qcheck_frame_roundtrip =
+  QCheck.Test.make ~name:"frame roundtrip" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 256))
+    (fun s -> Frame.unseal (Frame.seal s) = Ok s)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "codec.wire",
+      [
+        tc "varint roundtrip" test_varint_roundtrip;
+        tc "varint negative rejected" test_varint_negative_rejected;
+        tc "zigzag roundtrip" test_zigzag_roundtrip;
+        tc "string roundtrip" test_string_roundtrip;
+        tc "composite roundtrip" test_composite_roundtrip;
+        tc "trailing bytes" test_decode_trailing_bytes;
+        tc "truncated input" test_decode_truncated;
+        tc "hostile list length" test_decode_hostile_list_length;
+        tc "overlong varint" test_decode_overlong_varint;
+        QCheck_alcotest.to_alcotest qcheck_wire_string_list;
+        QCheck_alcotest.to_alcotest qcheck_wire_never_raises;
+      ] );
+    ( "codec.frame",
+      [
+        tc "roundtrip" test_frame_roundtrip;
+        tc "detects corruption" test_frame_detects_corruption;
+        tc "detects header damage" test_frame_detects_header_damage;
+        tc "rejects truncated payload" test_frame_rejects_truncated_payload;
+        QCheck_alcotest.to_alcotest qcheck_frame_roundtrip;
+      ] );
+  ]

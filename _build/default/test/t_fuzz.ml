@@ -1,0 +1,79 @@
+(* Decoder totality: every wire decoder in the repository must return
+   [Error] on malformed input — never raise, never loop — because
+   byzantine peers control every byte that arrives. *)
+
+let never_raises name decode =
+  QCheck.Test.make ~name ~count:1000
+    QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s ->
+      match decode s with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "%s raised %s" name (Printexc.to_string e))
+
+let mutated_roundtrip name encode decode sample =
+  (* Flipping any single byte of a valid encoding must still decode
+     totally (possibly to Ok of something else — framing catches
+     corruption at a lower layer; here we only require totality). *)
+  let encoded = encode sample in
+  QCheck.Test.make ~name ~count:500
+    QCheck.(pair (int_bound (String.length encoded - 1)) (int_bound 255))
+    (fun (i, x) ->
+      let b = Bytes.of_string encoded in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (x lor 1)));
+      match decode (Bytes.to_string b) with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "%s raised %s" name (Printexc.to_string e))
+
+let sample_record =
+  Blockplane.Record.Recv
+    {
+      Blockplane.Record.src = 1;
+      tdest = 0;
+      tcomm_seq = 3;
+      log_pos = 9;
+      tpayload = "payload";
+      proofs = [ ("u1/n1.0", "sig") ];
+      geo_proofs = [ (2, [ ("u2/n2.0", "gsig") ]) ];
+    }
+
+let sample_proto =
+  Blockplane.Proto.Mirror_proof
+    { owner = 1; pos = 4; participant = 2; sigs = [ ("u2/n2.1", "s") ] }
+
+let sample_paxos =
+  Bp_paxos.Msg.Promise
+    {
+      ballot = { Bp_paxos.Ballot.round = 3; node = 1 };
+      ok = true;
+      accepted =
+        [ { Bp_paxos.Msg.instance = 0; ballot = Bp_paxos.Ballot.zero; value = "v" } ];
+    }
+
+let sample_kv = Bp_storage.Kv.Cas ("key", Some "old", "new")
+
+let suite =
+  [
+    ( "fuzz.decoders",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          never_raises "record decoder total" Blockplane.Record.decode;
+          never_raises "proto decoder total" Blockplane.Proto.decode;
+          never_raises "pbft body decoder total" Bp_pbft.Msg.decode_body;
+          never_raises "paxos decoder total" Bp_paxos.Msg.decode;
+          never_raises "kv op decoder total" Bp_storage.Kv.decode_op;
+          never_raises "frame decoder total" (fun s ->
+              match Bp_codec.Frame.unseal s with
+              | Ok p -> Ok p
+              | Error _ -> Error "bad");
+          mutated_roundtrip "record survives bit flips" Blockplane.Record.encode
+            Blockplane.Record.decode sample_record;
+          mutated_roundtrip "proto survives bit flips" Blockplane.Proto.encode
+            Blockplane.Proto.decode sample_proto;
+          mutated_roundtrip "paxos survives bit flips" Bp_paxos.Msg.encode
+            Bp_paxos.Msg.decode sample_paxos;
+          mutated_roundtrip "kv op survives bit flips" Bp_storage.Kv.encode_op
+            Bp_storage.Kv.decode_op sample_kv;
+        ] );
+  ]

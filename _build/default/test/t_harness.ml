@@ -1,0 +1,194 @@
+open Bp_harness
+
+(* Parse the leading float out of a report cell like "61.0 (61)". *)
+let cell_float s =
+  match String.split_on_char ' ' (String.trim s) with
+  | first :: _ -> (
+      match float_of_string_opt first with
+      | Some f -> f
+      | None -> Alcotest.failf "cell %S is not numeric" s)
+  | [] -> Alcotest.failf "empty cell"
+
+let row_label r = List.nth r 0
+let col r i = cell_float (List.nth r i)
+
+let find_report id reports =
+  match List.find_opt (fun r -> String.equal r.Report.id id) reports with
+  | Some r -> r
+  | None -> Alcotest.failf "report %s missing" id
+
+let test_registry_complete () =
+  let ids = List.map (fun e -> e.Experiments.id) Experiments.all in
+  Alcotest.(check (list string)) "all paper artifacts present"
+    [
+      "table1"; "fig4"; "table2"; "fig5"; "fig6"; "fig7"; "fig8";
+      "ablation-reads"; "ablation-batch"; "ablation-sig"; "ablation-loss";
+      "ablation-load"; "locality"; "costs";
+    ]
+    ids;
+  Alcotest.(check bool) "find works" true (Experiments.find "fig7" <> None);
+  Alcotest.(check bool) "unknown id" true (Experiments.find "fig99" = None)
+
+let test_table1_matches_paper () =
+  let r = find_report "table1" (Exp_comm.table1 ()) in
+  (* Spot-check the published matrix. *)
+  let row name = List.find (fun row -> row_label row = name) r.Report.rows in
+  Alcotest.(check (float 0.01)) "C-O" 19.0 (col (row "C") 2);
+  Alcotest.(check (float 0.01)) "C-I" 130.0 (col (row "C") 4);
+  Alcotest.(check (float 0.01)) "V-I" 70.0 (col (row "V") 4);
+  Alcotest.(check (float 0.01)) "diagonal" 0.0 (col (row "O") 2)
+
+let test_fig4_shapes () =
+  let reports = Exp_local.fig4 ~scale:0.08 () in
+  let lat = find_report "fig4a" reports and thr = find_report "fig4b" reports in
+  let lat_of label = col (List.find (fun r -> row_label r = label) lat.Report.rows) 1 in
+  let thr_of label = col (List.find (fun r -> row_label r = label) thr.Report.rows) 1 in
+  (* Latency: ~1 ms at small sizes, growing at MB sizes. *)
+  Alcotest.(check bool) "1KB ~1ms" true (lat_of "1 KB" < 2.5);
+  Alcotest.(check bool) "2000KB well above 1KB" true
+    (lat_of "2000 KB" > 4.0 *. lat_of "1 KB");
+  (* Throughput: steep growth to 100 KB, then plateau-ish. *)
+  Alcotest.(check bool) "100KB >> 1KB" true (thr_of "100 KB" > 20.0 *. thr_of "1 KB");
+  Alcotest.(check bool) "plateau" true
+    (thr_of "2000 KB" > 0.5 *. thr_of "1000 KB")
+
+let test_table2_shape () =
+  let r = find_report "table2" (Exp_local.table2 ~scale:0.2 ()) in
+  let lats = List.map (fun row -> col row 3) r.Report.rows in
+  let rec increasing = function
+    | a :: b :: rest -> a <= b +. 0.01 && increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "latency grows with n" true (increasing lats);
+  let thrs = List.map (fun row -> col row 1) r.Report.rows in
+  Alcotest.(check bool) "throughput falls with n" true
+    (increasing (List.rev thrs))
+
+let test_fig5_shape () =
+  let r = find_report "fig5" (Exp_geo.fig5 ~scale:0.2 ()) in
+  let v label = col (List.find (fun row -> row_label row = label) r.Report.rows) 1 in
+  (* fg monotonicity at California, and the paper's crossing points. *)
+  Alcotest.(check bool) "C(1)<C(2)<C(3)" true (v "C(1)" < v "C(2)" && v "C(2)" < v "C(3)");
+  Alcotest.(check bool) "C(1) ~20-30" true (v "C(1)" >= 19.0 && v "C(1)" <= 30.0);
+  Alcotest.(check bool) "V(3) ~80 best at fg=3" true
+    (v "V(3)" < v "C(3)" && v "V(3)" < v "O(3)" && v "V(3)" < v "I(3)");
+  Alcotest.(check bool) "I worst at fg=1" true
+    (v "I(1)" > v "C(1)" && v "I(1)" > v "O(1)" && v "I(1)" > v "V(1)")
+
+let test_fig6_shape () =
+  let r = find_report "fig6" (Exp_comm.fig6 ~scale:0.2 ()) in
+  let v label = col (List.find (fun row -> row_label row = label) r.Report.rows) 1 in
+  Alcotest.(check bool) "CO smallest" true (v "CO" < v "CV" && v "CO" < v "VI");
+  Alcotest.(check bool) "CI and OI largest" true
+    (v "CI" > 120.0 && v "OI" > 120.0);
+  Alcotest.(check bool) "CO close to paper 23.4" true (v "CO" >= 19.5 && v "CO" <= 27.0)
+
+let test_fig7_ordering () =
+  let r = find_report "fig7" (Exp_consensus.fig7 ~scale:0.2 ()) in
+  List.iter
+    (fun row ->
+      let paxos = col row 1 and bp = col row 2 and pbft = col row 3 and hier = col row 4 in
+      let leader = row_label row in
+      Alcotest.(check bool) (leader ^ ": paxos <= hier") true (paxos <= hier +. 1.0);
+      Alcotest.(check bool) (leader ^ ": hier <= bp-paxos") true (hier <= bp +. 1.0);
+      Alcotest.(check bool) (leader ^ ": bp-paxos < pbft") true (bp < pbft);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: bp overhead %.1f vs %.1f modest" leader bp paxos)
+        true
+        (bp -. paxos < 25.0))
+    r.Report.rows
+
+let test_fig8_shapes () =
+  let reports = Exp_geo.fig8 ~scale:0.25 () in
+  let a = find_report "fig8a" reports and b = find_report "fig8b" reports in
+  let first_region r = col (List.hd r.Report.rows) 1 in
+  let last_region r = col (List.nth r.Report.rows (List.length r.Report.rows - 1)) 1 in
+  Alcotest.(check bool) "8a: before ~20-40" true
+    (first_region a >= 19.0 && first_region a <= 40.0);
+  Alcotest.(check bool) "8a: after is higher (Virginia proofs)" true
+    (last_region a >= 55.0 && last_region a <= 90.0);
+  Alcotest.(check bool) "8b: before ~20-40" true
+    (first_region b >= 19.0 && first_region b <= 40.0);
+  Alcotest.(check bool) "8b: after ~70-85 at Virginia" true
+    (last_region b >= 60.0 && last_region b <= 95.0);
+  (* The takeover spike: some batch in 8b paid the detection timeout. *)
+  let spike =
+    List.exists (fun row -> col row 1 > 150.0) b.Report.rows
+  in
+  Alcotest.(check bool) "8b: takeover spike present" true spike
+
+let test_locality_shape () =
+  let r = find_report "locality" (Exp_locality.locality ~scale:0.3 ()) in
+  let share label =
+    let row = List.find (fun row -> row_label row = label) r.Report.rows in
+    cell_float (String.map (fun c -> if c = '%' then ' ' else c) (List.nth row 3))
+  in
+  Alcotest.(check bool) "blockplane mostly local" true (share "blockplane-paxos" < 50.0);
+  Alcotest.(check bool) "flat PBFT mostly wide-area" true (share "flat PBFT" > 80.0)
+
+let test_costs_sanity () =
+  let r = find_report "costs" (Exp_costs.costs ~scale:0.3 ()) in
+  List.iter
+    (fun row ->
+      let msgs_commit = col row 3 and msgs_send = col row 5 in
+      Alcotest.(check bool) "commit needs a protocol's worth of messages" true
+        (msgs_commit > 10.0);
+      Alcotest.(check bool) "send costs at least a commit" true
+        (msgs_send >= msgs_commit *. 0.8))
+    r.Report.rows;
+  (* fg=1 must cost more than fg=0 at the same fi. *)
+  let v label i = col (List.find (fun row -> row_label row = label) r.Report.rows) i in
+  Alcotest.(check bool) "fg=1 sends cost more" true
+    (v "fi=1 fg=1" 5 > v "fi=1 fg=0" 5)
+
+let test_workload_open_loop () =
+  (* The generator delivers exactly [count] requests at roughly the
+     offered rate, and measures per-request latency. *)
+  let engine = Bp_sim.Engine.create ~seed:95L () in
+  let rng = Bp_util.Rng.create 96L in
+  let inflight = ref 0 and peak = ref 0 in
+  let r =
+    Workload.open_loop engine ~rng ~rate_per_sec:1000.0 ~count:200
+      ~submit:(fun _ ~on_done ->
+        incr inflight;
+        peak := Stdlib.max !peak !inflight;
+        (* Simulated 5 ms service time. *)
+        ignore
+          (Bp_sim.Engine.schedule engine ~after:(Bp_sim.Time.of_ms 5.0) (fun () ->
+               decr inflight;
+               on_done ())))
+  in
+  Alcotest.(check int) "all completed" 200 (Bp_util.Stats.count r.Workload.latencies);
+  Alcotest.(check (float 0.5)) "latency = service time" 5.0
+    (Bp_util.Stats.mean r.Workload.latencies);
+  (* 1000/s with 5 ms service => several overlapping requests. *)
+  Alcotest.(check bool) "open loop overlaps" true (!peak >= 2);
+  Alcotest.(check bool) "achieved near offered" true
+    (r.Workload.achieved_per_sec > 700.0 && r.Workload.achieved_per_sec < 1400.0)
+
+let test_runner_helpers () =
+  Alcotest.(check int) "scaled floor" 1 (Runner.scaled 0.001 100);
+  Alcotest.(check int) "scaled exact" 50 (Runner.scaled 0.5 100);
+  Alcotest.(check int) "payload size" 1234 (String.length (Runner.payload ~size:1234 7));
+  Alcotest.(check bool) "payloads distinct" true
+    (Runner.payload ~size:64 1 <> Runner.payload ~size:64 2)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "harness",
+      [
+        tc "registry complete" test_registry_complete;
+        tc "table1 matches paper" test_table1_matches_paper;
+        tc "fig4 shapes" test_fig4_shapes;
+        tc "table2 shape" test_table2_shape;
+        tc "fig5 shape" test_fig5_shape;
+        tc "fig6 shape" test_fig6_shape;
+        tc "fig7 ordering" test_fig7_ordering;
+        tc "fig8 shapes" test_fig8_shapes;
+        tc "locality shape" test_locality_shape;
+        tc "costs sanity" test_costs_sanity;
+        tc "workload open loop" test_workload_open_loop;
+        tc "runner helpers" test_runner_helpers;
+      ] );
+  ]

@@ -1,0 +1,195 @@
+open Bp_sim
+open Bp_net
+
+let ms = Time.of_ms
+let node dc idx = Addr.make ~dc ~idx
+
+let setup ?faults ?(seed = 5L) () =
+  let e = Engine.create ~seed () in
+  let net = Network.create e Topology.aws_paper ?faults () in
+  (e, net)
+
+let test_transport_basic_delivery () =
+  let e, net = setup () in
+  let a = Transport.create net (node 0 0) in
+  let b = Transport.create net (node 0 1) in
+  let got = ref [] in
+  Transport.set_handler b ~tag:"app" (fun ~src payload ->
+      got := (Addr.to_string src, payload) :: !got);
+  Transport.send a ~dst:(Transport.addr b) ~tag:"app" "hello";
+  Engine.run e;
+  Alcotest.(check (list (pair string string))) "delivered" [ ("n0.0", "hello") ] !got
+
+let test_transport_tag_multiplexing () =
+  let e, net = setup () in
+  let a = Transport.create net (node 0 0) in
+  let b = Transport.create net (node 0 1) in
+  let xs = ref [] and ys = ref [] in
+  Transport.set_handler b ~tag:"x" (fun ~src:_ p -> xs := p :: !xs);
+  Transport.set_handler b ~tag:"y" (fun ~src:_ p -> ys := p :: !ys);
+  Transport.send a ~dst:(Transport.addr b) ~tag:"x" "1";
+  Transport.send a ~dst:(Transport.addr b) ~tag:"y" "2";
+  Transport.send a ~dst:(Transport.addr b) ~tag:"x" "3";
+  Engine.run e;
+  Alcotest.(check (list string)) "x stream" [ "1"; "3" ] (List.rev !xs);
+  Alcotest.(check (list string)) "y stream" [ "2" ] (List.rev !ys)
+
+let test_transport_loopback () =
+  let e, net = setup () in
+  let a = Transport.create net (node 0 0) in
+  let got = ref 0 in
+  Transport.set_handler a ~tag:"self" (fun ~src:_ _ -> incr got);
+  Transport.send a ~dst:(Transport.addr a) ~tag:"self" "ping";
+  Engine.run e;
+  Alcotest.(check int) "self-delivery" 1 !got
+
+let test_transport_exactly_once_under_loss () =
+  let faults = { Network.no_faults with drop = 0.3 } in
+  let e, net = setup ~faults () in
+  let a = Transport.create net (node 0 0) in
+  let b = Transport.create net (node 2 0) in
+  let got = ref [] in
+  Transport.set_handler b ~tag:"app" (fun ~src:_ p -> got := p :: !got);
+  for i = 1 to 50 do
+    Transport.send a ~dst:(Transport.addr b) ~tag:"app" (string_of_int i)
+  done;
+  Engine.run ~until:(Time.of_sec 30.0) e;
+  Alcotest.(check (list string)) "all delivered exactly once, in order"
+    (List.init 50 (fun i -> string_of_int (i + 1)))
+    (List.rev !got)
+
+let test_transport_order_under_duplication () =
+  let faults = { Network.no_faults with duplicate = 0.5; drop = 0.2 } in
+  let e, net = setup ~faults ~seed:11L () in
+  let a = Transport.create net (node 0 0) in
+  let b = Transport.create net (node 1 0) in
+  let got = ref [] in
+  Transport.set_handler b ~tag:"app" (fun ~src:_ p -> got := p :: !got);
+  for i = 1 to 30 do
+    Transport.send a ~dst:(Transport.addr b) ~tag:"app" (string_of_int i)
+  done;
+  Engine.run ~until:(Time.of_sec 30.0) e;
+  Alcotest.(check (list string)) "exactly once in order"
+    (List.init 30 (fun i -> string_of_int (i + 1)))
+    (List.rev !got)
+
+let test_transport_survives_corruption () =
+  let faults = { Network.no_faults with corrupt = 0.3 } in
+  let e, net = setup ~faults () in
+  let a = Transport.create net (node 0 0) in
+  let b = Transport.create net (node 1 0) in
+  let got = ref [] in
+  Transport.set_handler b ~tag:"app" (fun ~src:_ p -> got := p :: !got);
+  for i = 1 to 30 do
+    Transport.send a ~dst:(Transport.addr b) ~tag:"app" (string_of_int i)
+  done;
+  Engine.run ~until:(Time.of_sec 30.0) e;
+  Alcotest.(check (list string)) "corruption recovered by retransmit"
+    (List.init 30 (fun i -> string_of_int (i + 1)))
+    (List.rev !got);
+  let _, discarded = Transport.stats b in
+  Alcotest.(check bool) "some frames discarded" true (discarded > 0)
+
+let test_transport_unreliable_lossy () =
+  let faults = { Network.no_faults with drop = 1.0 } in
+  let e, net = setup ~faults () in
+  let a = Transport.create net (node 0 0) in
+  let b = Transport.create net (node 0 1) in
+  let got = ref 0 in
+  Transport.set_handler b ~tag:"app" (fun ~src:_ _ -> incr got);
+  Transport.send a ~reliable:false ~dst:(Transport.addr b) ~tag:"app" "x";
+  (* Unreliable + total loss: nothing arrives and nothing retransmits, so
+     the simulation drains quickly. *)
+  Engine.run ~until:(Time.of_sec 5.0) e;
+  Alcotest.(check int) "lost" 0 !got;
+  let retrans, _ = Transport.stats a in
+  Alcotest.(check int) "no retransmissions" 0 retrans
+
+let test_transport_bidirectional () =
+  let e, net = setup () in
+  let a = Transport.create net (node 0 0) in
+  let b = Transport.create net (node 1 0) in
+  let got_a = ref [] and got_b = ref [] in
+  Transport.set_handler a ~tag:"app" (fun ~src:_ p -> got_a := p :: !got_a);
+  Transport.set_handler b ~tag:"app" (fun ~src:_ p ->
+      got_b := p :: !got_b;
+      Transport.send b ~dst:(Transport.addr a) ~tag:"app" ("re:" ^ p));
+  Transport.send a ~dst:(Transport.addr b) ~tag:"app" "ping";
+  Engine.run ~until:(Time.of_sec 5.0) e;
+  Alcotest.(check (list string)) "request" [ "ping" ] !got_b;
+  Alcotest.(check (list string)) "response" [ "re:ping" ] !got_a
+
+let test_transport_many_peers () =
+  let e, net = setup () in
+  let hub = Transport.create net (node 0 0) in
+  let spokes = List.init 6 (fun i -> Transport.create net (node (i mod 4) (i + 1))) in
+  let got = ref 0 in
+  List.iter
+    (fun s -> Transport.set_handler s ~tag:"bcast" (fun ~src:_ _ -> incr got))
+    spokes;
+  List.iter
+    (fun s -> Transport.send hub ~dst:(Transport.addr s) ~tag:"bcast" "m")
+    spokes;
+  Engine.run ~until:(Time.of_sec 5.0) e;
+  Alcotest.(check int) "all spokes" 6 !got
+
+let test_heartbeat_suspects_crashed_peer () =
+  let e, net = setup () in
+  let a = Transport.create net (node 0 0) in
+  let b = Transport.create net (node 1 0) in
+  Heartbeat.serve b;
+  let suspected = ref [] and restored = ref [] in
+  let hb =
+    Heartbeat.create a
+      ~peers:[ node 1 0 ]
+      ~period:(ms 50.0) ~timeout:(ms 200.0)
+      ~on_suspect:(fun p -> suspected := (Addr.to_string p, Time.to_ms (Engine.now e)) :: !suspected)
+      ~on_restore:(fun p -> restored := Addr.to_string p :: !restored)
+      ()
+  in
+  Engine.run ~until:(Time.of_sec 1.0) e;
+  Alcotest.(check (list (pair string (float 1e9)))) "alive peer not suspected" [] !suspected;
+  Network.crash net (node 1 0);
+  Engine.run ~until:(Time.of_sec 2.0) e;
+  Alcotest.(check int) "suspected once" 1 (List.length !suspected);
+  Alcotest.(check bool) "flag" true (Heartbeat.suspected hb (node 1 0));
+  Network.recover net (node 1 0);
+  Engine.run ~until:(Time.of_sec 3.0) e;
+  Alcotest.(check (list string)) "restored" [ "n1.0" ] !restored;
+  Alcotest.(check bool) "flag cleared" false (Heartbeat.suspected hb (node 1 0));
+  Heartbeat.stop hb;
+  Engine.run ~until:(Time.of_sec 3.5) e
+
+let test_heartbeat_stop_cancels () =
+  let e, net = setup () in
+  let a = Transport.create net (node 0 0) in
+  let hb =
+    Heartbeat.create a ~peers:[] ~period:(ms 10.0) ~timeout:(ms 50.0)
+      ~on_suspect:(fun _ -> Alcotest.fail "no peers, no suspicion")
+      ()
+  in
+  Heartbeat.stop hb;
+  Engine.run ~until:(Time.of_sec 1.0) e;
+  Alcotest.(check int) "no live timers" 0 (Engine.pending e)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "net.transport",
+      [
+        tc "basic delivery" test_transport_basic_delivery;
+        tc "tag multiplexing" test_transport_tag_multiplexing;
+        tc "loopback" test_transport_loopback;
+        tc "exactly-once under loss" test_transport_exactly_once_under_loss;
+        tc "order under duplication" test_transport_order_under_duplication;
+        tc "survives corruption" test_transport_survives_corruption;
+        tc "unreliable mode is lossy" test_transport_unreliable_lossy;
+        tc "bidirectional" test_transport_bidirectional;
+        tc "many peers" test_transport_many_peers;
+      ] );
+    ( "net.heartbeat",
+      [
+        tc "suspects crashed peer" test_heartbeat_suspects_crashed_peer;
+        tc "stop cancels timers" test_heartbeat_stop_cancels;
+      ] );
+  ]

@@ -1,0 +1,368 @@
+open Bp_sim
+
+let ms = Time.of_ms
+
+let test_time_arithmetic () =
+  Alcotest.(check int) "add" 3_000_000 (Time.to_ns (Time.add (ms 1.0) (ms 2.0)));
+  Alcotest.(check int) "diff" 1_000_000 (Time.to_ns (Time.diff (ms 2.0) (ms 1.0)));
+  Alcotest.(check (float 1e-9)) "to_ms" 2.5 (Time.to_ms (ms 2.5));
+  Alcotest.(check int) "scale" 500_000 (Time.to_ns (Time.scale (ms 1.0) 0.5));
+  (try
+     ignore (Time.diff (ms 1.0) (ms 2.0));
+     Alcotest.fail "expected raise"
+   with Invalid_argument _ -> ())
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  ignore (Engine.schedule e ~after:(ms 3.0) (record "c"));
+  ignore (Engine.schedule e ~after:(ms 1.0) (record "a"));
+  ignore (Engine.schedule e ~after:(ms 2.0) (record "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order)
+
+let test_engine_fifo_at_same_instant () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule e ~after:(ms 1.0) (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order" (List.init 10 Fun.id) (List.rev !order)
+
+let test_engine_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref Time.zero in
+  ignore (Engine.schedule e ~after:(ms 5.0) (fun () -> seen := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "clock at event" (Time.to_ns (ms 5.0)) (Time.to_ns !seen)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule e ~after:(ms 1.0) (fun () -> fired := true) in
+  Engine.cancel timer;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Engine.schedule e ~after:(ms 1.0) (fun () ->
+         incr hits;
+         ignore (Engine.schedule e ~after:(ms 1.0) (fun () -> incr hits))));
+  Engine.run e;
+  Alcotest.(check int) "both fired" 2 !hits;
+  Alcotest.(check int) "final clock" (Time.to_ns (ms 2.0)) (Time.to_ns (Engine.now e))
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore (Engine.schedule e ~after:(ms 1.0) (fun () -> incr hits));
+  ignore (Engine.schedule e ~after:(ms 10.0) (fun () -> incr hits));
+  Engine.run ~until:(ms 5.0) e;
+  Alcotest.(check int) "only first" 1 !hits;
+  Alcotest.(check int) "clock clamped" (Time.to_ns (ms 5.0)) (Time.to_ns (Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "resumed" 2 !hits
+
+let test_engine_periodic () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let timer =
+    Engine.periodic e ~every:(ms 2.0) (fun () ->
+        incr hits;
+        if !hits = 5 then raise Exit)
+  in
+  (try Engine.run e with Exit -> ());
+  Engine.cancel timer;
+  Engine.run e;
+  Alcotest.(check int) "five firings" 5 !hits;
+  Alcotest.(check int) "clock" (Time.to_ns (ms 10.0)) (Time.to_ns (Engine.now e))
+
+let test_engine_periodic_cancel_from_action () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let timer = ref None in
+  timer :=
+    Some
+      (Engine.periodic e ~every:(ms 1.0) (fun () ->
+           incr hits;
+           if !hits = 3 then Engine.cancel (Option.get !timer)));
+  Engine.run e;
+  Alcotest.(check int) "stopped at three" 3 !hits
+
+let test_engine_schedule_at_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~after:(ms 2.0) (fun () -> ()));
+  Engine.run e;
+  try
+    ignore (Engine.schedule_at e (ms 1.0) (fun () -> ()));
+    Alcotest.fail "expected raise"
+  with Invalid_argument _ -> ()
+
+let test_engine_determinism () =
+  let run_once () =
+    let e = Engine.create ~seed:7L () in
+    let rng = Bp_util.Rng.split (Engine.rng e) in
+    let acc = ref [] in
+    for _ = 1 to 20 do
+      let d = Bp_util.Rng.float rng 10.0 in
+      ignore (Engine.schedule e ~after:(Time.of_ms d) (fun () -> acc := d :: !acc))
+    done;
+    Engine.run e;
+    !acc
+  in
+  Alcotest.(check (list (float 0.0))) "identical traces" (run_once ()) (run_once ())
+
+let test_topology_paper_values () =
+  let t = Topology.aws_paper in
+  Alcotest.(check int) "4 DCs" 4 (Topology.num_dcs t);
+  Alcotest.(check string) "name" "Virginia" (Topology.name t Topology.dc_virginia);
+  Alcotest.(check (float 1e-6)) "C-O rtt" 19.0
+    (Time.to_ms (Topology.rtt t Topology.dc_california Topology.dc_oregon));
+  Alcotest.(check (float 1e-6)) "V-I rtt" 70.0
+    (Time.to_ms (Topology.rtt t Topology.dc_virginia Topology.dc_ireland));
+  Alcotest.(check (float 1e-6)) "one way symmetric" 9.5
+    (Time.to_ms (Topology.one_way t Topology.dc_oregon Topology.dc_california));
+  Alcotest.(check (option int)) "lookup" (Some Topology.dc_ireland)
+    (Topology.dc_of_name t "Ireland")
+
+let test_topology_neighbors () =
+  let t = Topology.aws_paper in
+  Alcotest.(check (list int)) "california neighbors"
+    [ Topology.dc_oregon; Topology.dc_virginia; Topology.dc_ireland ]
+    (Topology.neighbors_by_rtt t Topology.dc_california);
+  Alcotest.(check (list int)) "ireland neighbors"
+    [ Topology.dc_virginia; Topology.dc_california; Topology.dc_oregon ]
+    (Topology.neighbors_by_rtt t Topology.dc_ireland)
+
+let test_topology_closest_majority () =
+  let t = Topology.aws_paper in
+  (* n=4, majority=3: the 2nd-closest other site. *)
+  Alcotest.(check (float 1e-6)) "california" 61.0
+    (Time.to_ms (Topology.closest_majority_rtt t Topology.dc_california));
+  Alcotest.(check (float 1e-6)) "virginia" 70.0
+    (Time.to_ms (Topology.closest_majority_rtt t Topology.dc_virginia));
+  Alcotest.(check (float 1e-6)) "oregon" 79.0
+    (Time.to_ms (Topology.closest_majority_rtt t Topology.dc_oregon));
+  Alcotest.(check (float 1e-6)) "ireland" 130.0
+    (Time.to_ms (Topology.closest_majority_rtt t Topology.dc_ireland))
+
+let test_topology_transfer_time () =
+  let t = Topology.aws_paper in
+  (* 640 MB/s: 640 KB should take 1 ms. *)
+  Alcotest.(check (float 1e-3)) "640KB in 1ms" 1.0
+    (Time.to_ms (Topology.transfer_time t 640_000))
+
+let test_topology_validation () =
+  let bad () =
+    Topology.make ~names:[| "a"; "b" |]
+      ~rtt_ms:[| [| 0.0; 1.0 |]; [| 2.0; 0.0 |] |]
+      ()
+  in
+  (try
+     ignore (bad ());
+     Alcotest.fail "asymmetric accepted"
+   with Invalid_argument _ -> ())
+
+let node dc idx = Addr.make ~dc ~idx
+
+let setup ?faults () =
+  let e = Engine.create ~seed:99L () in
+  let net = Network.create e Topology.aws_paper ?faults () in
+  (e, net)
+
+let test_network_latency () =
+  let e, net = setup () in
+  let a = node Topology.dc_california 0 and b = node Topology.dc_oregon 0 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let arrival = ref Time.zero in
+  Network.register net b (fun ~src:_ _ -> arrival := Engine.now e);
+  Network.send net ~src:a ~dst:b "hi";
+  Engine.run e;
+  (* one-way C-O = 9.5ms plus 2-byte serialization (negligible). *)
+  let got = Time.to_ms !arrival in
+  Alcotest.(check bool) "about 9.5ms" true (got >= 9.5 && got < 9.6)
+
+let test_network_intra_dc_latency () =
+  let e, net = setup () in
+  let a = node 0 0 and b = node 0 1 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let arrival = ref Time.zero in
+  Network.register net b (fun ~src:_ _ -> arrival := Engine.now e);
+  Network.send net ~src:a ~dst:b "hi";
+  Engine.run e;
+  let got = Time.to_ms !arrival in
+  Alcotest.(check bool) "about 0.25ms" true (got >= 0.25 && got < 0.3)
+
+let test_network_nic_serialization () =
+  (* Two large back-to-back sends: the second's departure waits on the
+     first (shared NIC), so arrivals are spaced by the transfer time. *)
+  let e, net = setup () in
+  let a = node 0 0 and b = node 0 1 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let arrivals = ref [] in
+  Network.register net b (fun ~src:_ _ -> arrivals := Engine.now e :: !arrivals);
+  let payload = String.make 640_000 'x' in
+  Network.send net ~src:a ~dst:b payload;
+  Network.send net ~src:a ~dst:b payload;
+  Engine.run e;
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+      let gap = Time.to_ms (Time.diff t2 t1) in
+      Alcotest.(check bool) "spaced by ~1ms serialization" true
+        (gap > 0.9 && gap < 1.1)
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_network_crashed_receiver_drops () =
+  let e, net = setup () in
+  let a = node 0 0 and b = node 0 1 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let got = ref 0 in
+  Network.register net b (fun ~src:_ _ -> incr got);
+  Network.crash net b;
+  Network.send net ~src:a ~dst:b "hi";
+  Engine.run e;
+  Alcotest.(check int) "dropped" 0 !got;
+  Network.recover net b;
+  Network.send net ~src:a ~dst:b "hi";
+  Engine.run e;
+  Alcotest.(check int) "delivered after recover" 1 !got
+
+let test_network_crashed_sender_drops () =
+  let e, net = setup () in
+  let a = node 0 0 and b = node 0 1 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let got = ref 0 in
+  Network.register net b (fun ~src:_ _ -> incr got);
+  Network.crash net a;
+  Network.send net ~src:a ~dst:b "hi";
+  Engine.run e;
+  Alcotest.(check int) "dropped" 0 !got
+
+let test_network_crash_dc () =
+  let e, net = setup () in
+  let a = node 0 0 and b = node 0 1 and c = node 1 0 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let got_b = ref 0 and got_c = ref 0 in
+  Network.register net b (fun ~src:_ _ -> incr got_b);
+  Network.register net c (fun ~src:_ _ -> incr got_c);
+  Network.crash_dc net 0;
+  (* a is crashed too: send from c instead. *)
+  Network.send net ~src:c ~dst:b "hi";
+  Engine.run e;
+  Alcotest.(check int) "dc-0 node unreachable" 0 !got_b;
+  Alcotest.(check bool) "a crashed" true (Network.is_crashed net a);
+  Network.recover_dc net 0;
+  Network.send net ~src:c ~dst:b "hi";
+  Engine.run e;
+  Alcotest.(check int) "after recovery" 1 !got_b
+
+let test_network_partition () =
+  let e, net = setup () in
+  let a = node 0 0 and b = node 1 0 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let got = ref 0 in
+  Network.register net b (fun ~src:_ _ -> incr got);
+  Network.set_link net 0 1 `Down;
+  Network.send net ~src:a ~dst:b "hi";
+  Engine.run e;
+  Alcotest.(check int) "partitioned" 0 !got;
+  Network.set_link net 0 1 `Up;
+  Network.send net ~src:a ~dst:b "hi";
+  Engine.run e;
+  Alcotest.(check int) "healed" 1 !got
+
+let test_network_drop_fault () =
+  let faults = { Network.no_faults with drop = 1.0 } in
+  let e, net = setup ~faults () in
+  let a = node 0 0 and b = node 0 1 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let got = ref 0 in
+  Network.register net b (fun ~src:_ _ -> incr got);
+  for _ = 1 to 10 do
+    Network.send net ~src:a ~dst:b "hi"
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all dropped" 0 !got;
+  Alcotest.(check int) "counted" 10 (Network.counters net).Network.dropped
+
+let test_network_duplicate_fault () =
+  let faults = { Network.no_faults with duplicate = 1.0 } in
+  let e, net = setup ~faults () in
+  let a = node 0 0 and b = node 0 1 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let got = ref 0 in
+  Network.register net b (fun ~src:_ _ -> incr got);
+  Network.send net ~src:a ~dst:b "hi";
+  Engine.run e;
+  Alcotest.(check int) "delivered twice" 2 !got
+
+let test_network_corrupt_fault () =
+  let faults = { Network.no_faults with corrupt = 1.0 } in
+  let e, net = setup ~faults () in
+  let a = node 0 0 and b = node 0 1 in
+  Network.register net a (fun ~src:_ _ -> ());
+  let received = ref "" in
+  Network.register net b (fun ~src:_ p -> received := p);
+  Network.send net ~src:a ~dst:b "payload";
+  Engine.run e;
+  Alcotest.(check bool) "mutated" false (String.equal !received "payload");
+  Alcotest.(check int) "same length" 7 (String.length !received)
+
+let test_network_counters () =
+  let e, net = setup () in
+  let a = node 0 0 and b = node 0 1 in
+  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net b (fun ~src:_ _ -> ());
+  Network.send net ~src:a ~dst:b "12345";
+  Engine.run e;
+  let c = Network.counters net in
+  Alcotest.(check int) "sent" 1 c.Network.sent;
+  Alcotest.(check int) "delivered" 1 c.Network.delivered;
+  Alcotest.(check int) "bytes" 5 c.Network.bytes_sent
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "sim.time",
+      [ tc "arithmetic" test_time_arithmetic ] );
+    ( "sim.engine",
+      [
+        tc "event ordering" test_engine_ordering;
+        tc "fifo at same instant" test_engine_fifo_at_same_instant;
+        tc "clock advances" test_engine_clock_advances;
+        tc "cancel" test_engine_cancel;
+        tc "nested schedule" test_engine_nested_schedule;
+        tc "run until" test_engine_until;
+        tc "periodic" test_engine_periodic;
+        tc "periodic cancel from action" test_engine_periodic_cancel_from_action;
+        tc "schedule_at past rejected" test_engine_schedule_at_past_rejected;
+        tc "determinism" test_engine_determinism;
+      ] );
+    ( "sim.topology",
+      [
+        tc "paper Table I values" test_topology_paper_values;
+        tc "neighbors by rtt" test_topology_neighbors;
+        tc "closest majority rtt" test_topology_closest_majority;
+        tc "transfer time" test_topology_transfer_time;
+        tc "validation" test_topology_validation;
+      ] );
+    ( "sim.network",
+      [
+        tc "wide-area latency" test_network_latency;
+        tc "intra-dc latency" test_network_intra_dc_latency;
+        tc "nic serialization" test_network_nic_serialization;
+        tc "crashed receiver drops" test_network_crashed_receiver_drops;
+        tc "crashed sender drops" test_network_crashed_sender_drops;
+        tc "datacenter outage" test_network_crash_dc;
+        tc "partition" test_network_partition;
+        tc "drop fault" test_network_drop_fault;
+        tc "duplicate fault" test_network_duplicate_fault;
+        tc "corrupt fault" test_network_corrupt_fault;
+        tc "counters" test_network_counters;
+      ] );
+  ]

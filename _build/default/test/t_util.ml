@@ -1,0 +1,224 @@
+open Bp_util
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let xs = List.init 8 (fun _ -> Rng.int64 a) in
+  let ys = List.init 8 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "different streams" false (xs = ys)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7L in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" false (Rng.int64 child1 = Rng.int64 child2)
+
+let test_rng_copy () =
+  let a = Rng.create 9L in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies agree" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 4L in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 5L in
+  Alcotest.(check bool) "p=0" false (Rng.bernoulli rng 0.0);
+  Alcotest.(check bool) "p=1" true (Rng.bernoulli rng 1.0)
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create 6L in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "close to 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_rng_bytes_length () =
+  let rng = Rng.create 8L in
+  List.iter
+    (fun n -> Alcotest.(check int) "length" n (Bytes.length (Rng.bytes rng n)))
+    [ 0; 1; 7; 8; 9; 63; 64; 100 ]
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 10L in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Rng.exponential rng ~mean:5.0 >= 0.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11L in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_hex_roundtrip () =
+  let rng = Rng.create 12L in
+  for _ = 1 to 50 do
+    let s = Bytes.to_string (Rng.bytes rng (Rng.int rng 64)) in
+    Alcotest.(check string) "roundtrip" s (Hex.decode (Hex.encode s))
+  done
+
+let test_hex_known () =
+  Alcotest.(check string) "encode" "00ff10ab" (Hex.encode "\x00\xff\x10\xab");
+  Alcotest.(check string) "decode upper" "\xab" (Hex.decode "AB")
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Hex.decode "abc"));
+  Alcotest.check_raises "bad char"
+    (Invalid_argument "Hex.decode: non-hex character") (fun () ->
+      ignore (Hex.decode "zz"))
+
+let test_stats_basics () =
+  let s = Stats.create () in
+  Stats.add_list s [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max s);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Stats.total s)
+
+let test_stats_percentile_interpolation () =
+  let s = Stats.create () in
+  Stats.add_list s [ 10.0; 20.0; 30.0; 40.0 ];
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 40.0 (Stats.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "median" 25.0 (Stats.median s);
+  Alcotest.(check (float 1e-9)) "p25" 17.5 (Stats.percentile s 25.0)
+
+let test_stats_stddev () =
+  let s = Stats.create () in
+  Stats.add_list s [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  (* Known sample: population sd 2, sample sd ~2.138 *)
+  Alcotest.(check (float 1e-3)) "sample sd" 2.138 (Stats.stddev s)
+
+let test_stats_single () =
+  let s = Stats.create () in
+  Stats.add s 5.0;
+  Alcotest.(check (float 1e-9)) "sd of one" 0.0 (Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "median of one" 5.0 (Stats.median s)
+
+let test_stats_empty_raises () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "is_empty" true (Stats.is_empty s);
+  (try
+     ignore (Stats.mean s);
+     Alcotest.fail "expected raise"
+   with Invalid_argument _ -> ())
+
+let test_stats_unsorted_insert () =
+  let s = Stats.create () in
+  Stats.add_list s [ 5.0; 1.0; 3.0 ];
+  Alcotest.(check (float 1e-9)) "median resorts" 3.0 (Stats.median s);
+  Stats.add s 0.0;
+  Alcotest.(check (float 1e-9)) "min after more adds" 0.0 (Stats.min s)
+
+let test_stats_summary () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  let sum = Stats.summarize s in
+  Alcotest.(check int) "n" 100 sum.Stats.n;
+  Alcotest.(check (float 1e-9)) "mean" 50.5 sum.Stats.mean;
+  Alcotest.(check (float 1e-9)) "p50" 50.5 sum.Stats.p50
+
+let test_tablefmt_shape () =
+  let out =
+    Tablefmt.render ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (* border, header, separator, 2 rows, border, trailing "" *)
+  Alcotest.(check int) "line count" 7 (List.length lines);
+  List.iter
+    (fun l ->
+      if String.length l > 0 then
+        Alcotest.(check bool) "consistent width" true
+          (String.length l = String.length (List.hd lines)))
+    lines
+
+let test_tablefmt_pads_short_rows () =
+  let out = Tablefmt.render ~header:[ "x"; "y"; "z" ] [ [ "only" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let qcheck_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip (qcheck)" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 128))
+    (fun s -> Hex.decode (Hex.encode s) = s)
+
+let qcheck_stats_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      Stats.add_list s xs;
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 100.0 ] in
+      let vals = List.map (Stats.percentile s) ps in
+      let rec mono = function
+        | a :: b :: rest -> a <= b +. 1e-9 && mono (b :: rest)
+        | _ -> true
+      in
+      mono vals)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "util.rng",
+      [
+        tc "determinism" test_rng_determinism;
+        tc "seed sensitivity" test_rng_seed_sensitivity;
+        tc "split independence" test_rng_split_independent;
+        tc "copy" test_rng_copy;
+        tc "int bounds" test_rng_int_bounds;
+        tc "float bounds" test_rng_float_bounds;
+        tc "bernoulli extremes" test_rng_bernoulli_extremes;
+        tc "bernoulli rate" test_rng_bernoulli_rate;
+        tc "bytes length" test_rng_bytes_length;
+        tc "exponential positive" test_rng_exponential_positive;
+        tc "shuffle permutation" test_rng_shuffle_permutation;
+      ] );
+    ( "util.hex",
+      [
+        tc "roundtrip" test_hex_roundtrip;
+        tc "known vectors" test_hex_known;
+        tc "invalid input" test_hex_invalid;
+        QCheck_alcotest.to_alcotest qcheck_hex_roundtrip;
+      ] );
+    ( "util.stats",
+      [
+        tc "basics" test_stats_basics;
+        tc "percentile interpolation" test_stats_percentile_interpolation;
+        tc "stddev" test_stats_stddev;
+        tc "single sample" test_stats_single;
+        tc "empty raises" test_stats_empty_raises;
+        tc "unsorted insert" test_stats_unsorted_insert;
+        tc "summary" test_stats_summary;
+        QCheck_alcotest.to_alcotest qcheck_stats_percentile_monotone;
+      ] );
+    ( "util.tablefmt",
+      [
+        tc "shape" test_tablefmt_shape;
+        tc "pads short rows" test_tablefmt_pads_short_rows;
+      ] );
+  ]
