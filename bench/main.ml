@@ -12,7 +12,12 @@
      dune exec bench/main.exe                 # everything, default scale
      dune exec bench/main.exe -- fig7         # one experiment
      dune exec bench/main.exe -- micro        # only the micro-benchmarks
-     BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep *)
+     dune exec bench/main.exe -- --json out.json   # also dump bp-bench/1 JSON
+     BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep
+
+   The --json report (schema documented in EXPERIMENTS.md, "Performance
+   methodology") is the perf-regression record: one BENCH_PRn.json is
+   committed per PR and compared against its predecessors. *)
 
 open Bechamel
 open Toolkit
@@ -28,16 +33,28 @@ let run_experiment e =
   Printf.printf "\n";
   let t0 = Unix.gettimeofday () in
   List.iter Bp_harness.Report.print (e.Bp_harness.Experiments.run ~scale);
-  Printf.printf "   (regenerated in %.1fs wall time)\n%!" (Unix.gettimeofday () -. t0)
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "   (regenerated in %.1fs wall time)\n%!" wall;
+  (e.Bp_harness.Experiments.id, wall)
 
 let run_paper_benches ids =
+  let known = List.map (fun e -> e.Bp_harness.Experiments.id) Bp_harness.Experiments.all in
+  (match List.filter (fun id -> not (List.mem id known)) ids with
+  | [] -> ()
+  | unknown ->
+      Printf.eprintf "bench: unknown experiment%s: %s\n  (known: %s, micro)\n"
+        (if List.length unknown > 1 then "s" else "")
+        (String.concat ", " unknown) (String.concat ", " known);
+      exit 2);
   Printf.printf "=====================================================\n";
   Printf.printf "Blockplane (ICDE 2019) - evaluation reproduction\n";
   Printf.printf "scale=%.2f (set BP_BENCH_SCALE to adjust)\n" scale;
   Printf.printf "=====================================================\n";
-  List.iter
+  List.filter_map
     (fun e ->
-      if ids = [] || List.mem e.Bp_harness.Experiments.id ids then run_experiment e)
+      if ids = [] || List.mem e.Bp_harness.Experiments.id ids then
+        Some (run_experiment e)
+      else None)
     Bp_harness.Experiments.all
 
 (* ---------- part 2: micro-benchmarks ---------- *)
@@ -68,6 +85,11 @@ let micro_tests () =
       (Staged.stage (fun () -> Sha256.digest payload_1k));
     Test.make ~name:"sha256 (64 KiB)"
       (Staged.stage (fun () -> Sha256.digest payload_64k));
+    (* Retained pre-optimization implementation: the gap between this row
+       and "sha256 (64 KiB)" is the digest speedup, self-contained in any
+       single bench report. *)
+    Test.make ~name:"sha256-ref (64 KiB)"
+      (Staged.stage (fun () -> Sha256_ref.digest payload_64k));
     Test.make ~name:"hmac-sha256 (1 KiB)"
       (Staged.stage (fun () -> Hmac.sha256 ~key:"benchkey" payload_1k));
     Test.make ~name:"crc32 (64 KiB)"
@@ -90,6 +112,21 @@ let micro_tests () =
                (Bp_sim.Engine.schedule e ~after:(Bp_sim.Time.of_us i) (fun () -> ()))
            done;
            Bp_sim.Engine.run e));
+    Test.make ~name:"engine 1k events, half cancelled"
+      (Staged.stage (fun () ->
+           let e = Bp_sim.Engine.create () in
+           let timers =
+             Array.init 1000 (fun i ->
+                 Bp_sim.Engine.schedule e
+                   ~after:(Bp_sim.Time.of_us (i + 1))
+                   (fun () -> ()))
+           in
+           for i = 0 to 999 do
+             if i land 1 = 0 then Bp_sim.Engine.cancel timers.(i)
+           done;
+           assert (Bp_sim.Engine.pending e = 500);
+           assert (Bp_sim.Engine.cancelled_backlog e <= 500);
+           Bp_sim.Engine.run e));
     Test.make ~name:"simulated local commit (full unit)"
       (Staged.stage (fun () ->
            let world = Bp_harness.Runner.fresh_world ~n_participants:1 () in
@@ -110,6 +147,7 @@ let run_micro () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -117,19 +155,87 @@ let run_micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some (ns :: _) when ns < 1e4 ->
-              Printf.printf "%-42s %10.0f ns/op\n" name ns
-          | Some (ns :: _) -> Printf.printf "%-42s %10.1f us/op\n" name (ns /. 1e3)
+          | Some (ns :: _) ->
+              if ns < 1e4 then Printf.printf "%-42s %10.0f ns/op\n" name ns
+              else Printf.printf "%-42s %10.1f us/op\n" name (ns /. 1e3);
+              rows := (name, ns) :: !rows
           | _ -> Printf.printf "%-42s (no estimate)\n" name)
         analyzed)
     (micro_tests ());
-  Printf.printf "%!"
+  Printf.printf "%!";
+  List.rev !rows
+
+(* ---------- JSON report (schema bp-bench/1) ---------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~experiments ~micro =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"bp-bench/1\",\n";
+  p "  \"scale\": %g,\n" scale;
+  p "  \"experiments\": [";
+  List.iteri
+    (fun i (id, wall) ->
+      p "%s\n    { \"id\": \"%s\", \"wall_s\": %.3f }"
+        (if i = 0 then "" else ",")
+        (json_escape id) wall)
+    experiments;
+  p "\n  ],\n";
+  p "  \"micro\": [";
+  List.iteri
+    (fun i (name, ns) ->
+      p "%s\n    { \"name\": \"%s\", \"ns_per_op\": %.1f }"
+        (if i = 0 then "" else ",")
+        (json_escape name) ns)
+    micro;
+  p "\n  ]\n";
+  p "}\n";
+  close_out oc
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "micro" ] -> run_micro ()
-  | [] ->
-      run_paper_benches [];
-      run_micro ()
-  | ids -> run_paper_benches ids
+  let rec split_json = function
+    | "--json" :: path :: rest ->
+        let others, _ = split_json rest in
+        (others, Some path)
+    | [ "--json" ] ->
+        prerr_endline "bench: --json requires an output path";
+        exit 2
+    | a :: rest ->
+        let others, json = split_json rest in
+        (a :: others, json)
+    | [] -> ([], None)
+  in
+  let args, json_path = split_json (List.tl (Array.to_list Sys.argv)) in
+  let experiments, micro =
+    match args with
+    | [ "micro" ] -> ([], run_micro ())
+    | [] ->
+        let experiments = run_paper_benches [] in
+        (experiments, run_micro ())
+    | ids -> (run_paper_benches ids, [])
+  in
+  match json_path with
+  | None -> ()
+  | Some path -> (
+      try
+        write_json path ~experiments ~micro;
+        if path <> "/dev/null" then Printf.printf "\nwrote %s\n%!" path
+      with Sys_error msg ->
+        Printf.eprintf "bench: cannot write JSON report: %s\n" msg;
+        exit 2)

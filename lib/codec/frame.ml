@@ -1,39 +1,38 @@
 let magic = "BPF1"
 let overhead = String.length magic + 4 + 4
 
-let put_u32 buf v =
-  for i = 3 downto 0 do
-    Buffer.add_char buf
-      (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff))
-  done
-
-let get_u32 s off =
-  let b i = Int32.of_int (Char.code s.[off + i]) in
-  Int32.logor
-    (Int32.shift_left (b 0) 24)
-    (Int32.logor
-       (Int32.shift_left (b 1) 16)
-       (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
-
+(* One exactly-sized allocation per frame; the header words are written
+   in place rather than through a Buffer. *)
 let seal payload =
-  let buf = Buffer.create (String.length payload + overhead) in
-  Buffer.add_string buf magic;
-  put_u32 buf (Int32.of_int (String.length payload));
-  put_u32 buf (Bp_crypto.Crc32.string payload);
-  Buffer.add_string buf payload;
-  Buffer.contents buf
+  let plen = String.length payload in
+  let out = Bytes.create (overhead + plen) in
+  Bytes.blit_string magic 0 out 0 4;
+  Bytes.set_int32_be out 4 (Int32.of_int plen);
+  Bytes.set_int32_be out 8 (Bp_crypto.Crc32.string payload);
+  Bytes.blit_string payload 0 out overhead plen;
+  Bytes.unsafe_to_string out
 
 let unseal_prefix buf ~off =
-  let mlen = String.length magic in
   if off < 0 || String.length buf - off < overhead then Error `Malformed
-  else if not (String.equal (String.sub buf off mlen) magic) then Error `Malformed
+  else if
+    not
+      (String.unsafe_get buf off = 'B'
+      && String.unsafe_get buf (off + 1) = 'P'
+      && String.unsafe_get buf (off + 2) = 'F'
+      && String.unsafe_get buf (off + 3) = '1')
+  then Error `Malformed
   else begin
-    let len = Int32.to_int (get_u32 buf (off + mlen)) in
+    let len = Int32.to_int (String.get_int32_be buf (off + 4)) in
     if len < 0 || String.length buf - off < overhead + len then Error `Malformed
     else begin
-      let crc = get_u32 buf (off + mlen + 4) in
-      let payload = String.sub buf (off + overhead) len in
-      if Bp_crypto.Crc32.string payload = crc then Ok (payload, overhead + len)
+      let crc = String.get_int32_be buf (off + 8) in
+      (* Checksum the payload in place; only a valid frame pays for the
+         payload extraction. *)
+      let actual =
+        Bp_crypto.Crc32.bytes (Bytes.unsafe_of_string buf) ~off:(off + overhead)
+          ~len
+      in
+      if actual = crc then Ok (String.sub buf (off + overhead) len, overhead + len)
       else Error `Corrupt
     end
   end

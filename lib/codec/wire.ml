@@ -1,34 +1,78 @@
-type encoder = Buffer.t
+(* The encoder is a growable Bytes buffer with an explicit length, not a
+   [Buffer.t]: it can be reset and reused across messages (no allocation
+   per message on steady-state paths) and created with a size hint so
+   bulk encodes never reallocate mid-write. *)
 
-let encoder () = Buffer.create 128
-let to_string = Buffer.contents
+type encoder = { mutable buf : Bytes.t; mutable len : int }
 
-let varint buf n =
-  if n < 0 then invalid_arg "Wire.varint: negative";
+let encoder ?(size_hint = 128) () =
+  { buf = Bytes.create (max 16 size_hint); len = 0 }
+
+let reset e = e.len <- 0
+let length e = e.len
+let to_string e = Bytes.sub_string e.buf 0 e.len
+
+let grow e needed =
+  let cap = ref (2 * Bytes.length e.buf) in
+  while e.len + needed > !cap do
+    cap := 2 * !cap
+  done;
+  let nbuf = Bytes.create !cap in
+  Bytes.blit e.buf 0 nbuf 0 e.len;
+  e.buf <- nbuf
+
+let[@inline] ensure e n = if e.len + n > Bytes.length e.buf then grow e n
+
+let[@inline] add_char e c =
+  ensure e 1;
+  Bytes.unsafe_set e.buf e.len c;
+  e.len <- e.len + 1
+
+let add_string e s =
+  let n = String.length s in
+  ensure e n;
+  Bytes.blit_string s 0 e.buf e.len n;
+  e.len <- e.len + n
+
+(* Serializations started through {!encode} / {!encode_with} — the
+   entrypoints that walk a message structure. Per-destination packet
+   assembly that merely prepends a header to already-encoded bytes does
+   not count, which is exactly what lets tests assert the encode-once
+   broadcast property. *)
+let encode_calls_counter = ref 0
+
+let encode_calls () = !encode_calls_counter
+
+(* Writes [n] as an unsigned 63-bit LEB128 varint: negative inputs are
+   reinterpreted as their 63-bit two's-complement bit pattern (at most
+   9 bytes). Only {!zigzag} feeds it negatives. *)
+let varint_raw buf n =
   let rec go n =
-    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    if n >= 0 && n < 0x80 then add_char buf (Char.unsafe_chr n)
     else begin
-      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      add_char buf (Char.unsafe_chr (0x80 lor (n land 0x7f)));
       go (n lsr 7)
     end
   in
   go n
 
-let zigzag buf n =
-  let mapped = if n >= 0 then 2 * n else (-2 * n) - 1 in
-  varint buf mapped
+let varint buf n =
+  if n < 0 then invalid_arg "Wire.varint: negative";
+  varint_raw buf n
+
+let zigzag buf n = varint_raw buf (n lsl 1 lxor (n asr (Sys.int_size - 1)))
 
 let u8 buf n =
   if n < 0 || n > 255 then invalid_arg "Wire.u8: out of range";
-  Buffer.add_char buf (Char.chr n)
+  add_char buf (Char.unsafe_chr n)
 
 let bool buf b = u8 buf (if b then 1 else 0)
 
 let string buf s =
   varint buf (String.length s);
-  Buffer.add_string buf s
+  add_string buf s
 
-let fixed buf s = Buffer.add_string buf s
+let fixed buf s = add_string buf s
 
 let list buf enc xs =
   varint buf (List.length xs);
@@ -40,34 +84,51 @@ let option buf enc = function
       bool buf true;
       enc x
 
-type decoder = { src : string; mutable pos : int }
+(* The decoder reads through a Bytes view of the input (one bounds check
+   against the cached length, then unsafe loads). [read_fixed] returns
+   the original string without copying when the read spans the whole
+   input — the bulk-payload case. *)
+type decoder = { src : string; bytes : Bytes.t; len : int; mutable pos : int }
 
 exception Malformed of string
 
-let decoder src = { src; pos = 0 }
-let remaining d = String.length d.src - d.pos
-let at_end d = remaining d = 0
+let decoder src =
+  { src; bytes = Bytes.unsafe_of_string src; len = String.length src; pos = 0 }
+
+let remaining d = d.len - d.pos
+let at_end d = d.pos >= d.len
 
 let fail msg = raise (Malformed msg)
 
 let read_u8 d =
-  if d.pos >= String.length d.src then fail "u8: end of input";
-  let c = Char.code d.src.[d.pos] in
+  if d.pos >= d.len then fail "u8: end of input";
+  let c = Char.code (Bytes.unsafe_get d.bytes d.pos) in
   d.pos <- d.pos + 1;
   c
 
-let read_varint d =
+(* Unsigned 63-bit counterpart of {!varint_raw}: the full native-int bit
+   pattern, so the result may be negative (zigzag of a negative number).
+   Valid encodings span at most 9 bytes; a 10th byte cannot contribute
+   any bits to a 63-bit int and is rejected. *)
+let read_varint_raw d =
   let rec go shift acc =
-    if shift > 62 then fail "varint: too long";
     let b = read_u8 d in
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 = 0 then acc else go (shift + 7) acc
+    if shift >= 63 then fail "varint: exceeds 10 bytes (overflows 63-bit int)"
+    else begin
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    end
   in
   go 0 0
 
+let read_varint d =
+  let v = read_varint_raw d in
+  if v < 0 then fail "varint: overflows non-negative int";
+  v
+
 let read_zigzag d =
-  let m = read_varint d in
-  if m land 1 = 0 then m / 2 else -((m + 1) / 2)
+  let m = read_varint_raw d in
+  m lsr 1 lxor - (m land 1)
 
 let read_bool d =
   match read_u8 d with
@@ -77,9 +138,20 @@ let read_bool d =
 
 let read_fixed d n =
   if n < 0 || remaining d < n then fail "fixed: end of input";
-  let s = String.sub d.src d.pos n in
-  d.pos <- d.pos + n;
-  s
+  if n = d.len && d.pos = 0 then begin
+    (* The read is the entire input: hand back the original string. *)
+    d.pos <- n;
+    d.src
+  end
+  else begin
+    let s = String.sub d.src d.pos n in
+    d.pos <- d.pos + n;
+    s
+  end
+
+let skip d n =
+  if n < 0 || remaining d < n then fail "skip: end of input";
+  d.pos <- d.pos + n
 
 let read_string d =
   let n = read_varint d in
@@ -99,7 +171,14 @@ let decode src reader =
   | exception Malformed msg -> Error msg
   | exception Invalid_argument msg -> Error msg
 
-let encode f =
-  let e = encoder () in
+let encode ?size_hint f =
+  incr encode_calls_counter;
+  let e = encoder ?size_hint () in
+  f e;
+  to_string e
+
+let encode_with e f =
+  incr encode_calls_counter;
+  reset e;
   f e;
   to_string e

@@ -4,18 +4,33 @@
     module, so message sizes seen by the network simulator are the real
     encoded sizes. Integers use LEB128 varints; strings and lists are
     length-prefixed. Decoding is total: malformed input yields [Error],
-    never an exception, because byzantine peers may send arbitrary bytes. *)
+    never an exception, because byzantine peers may send arbitrary bytes.
+
+    Encoders are reusable: {!reset} rewinds one without releasing its
+    buffer, and {!encode_with} runs a whole encode cycle over a retained
+    encoder, so steady-state send paths allocate nothing but the final
+    string. *)
 
 type encoder
 
-val encoder : unit -> encoder
+val encoder : ?size_hint:int -> unit -> encoder
+(** [size_hint] presizes the internal buffer (default 128 bytes) so bulk
+    encodes never reallocate mid-write. *)
+
+val reset : encoder -> unit
+(** Rewind to empty, keeping the allocated buffer for reuse. *)
+
+val length : encoder -> int
+(** Bytes written since creation or the last {!reset}. *)
+
 val to_string : encoder -> string
 
 val varint : encoder -> int -> unit
 (** Non-negative varint. @raise Invalid_argument on negative input. *)
 
 val zigzag : encoder -> int -> unit
-(** Signed varint (zigzag encoding). *)
+(** Signed varint (zigzag encoding). Total on the whole [int] range,
+    including [min_int]. *)
 
 val u8 : encoder -> int -> unit
 val bool : encoder -> bool -> unit
@@ -39,16 +54,36 @@ exception Malformed of string
     [Error]. *)
 
 val read_varint : decoder -> int
+(** Rejects encodings longer than 10 bytes or overflowing the
+    non-negative [int] range, with a precise error. *)
+
 val read_zigzag : decoder -> int
 val read_u8 : decoder -> int
 val read_bool : decoder -> bool
 val read_string : decoder -> string
+
 val read_fixed : decoder -> int -> string
+(** When the read spans the entire input, the original string is returned
+    without copying (the bulk-payload fast path). *)
+
+val skip : decoder -> int -> unit
+(** Advance past [n] bytes without materializing them. *)
+
 val read_list : decoder -> (decoder -> 'a) -> 'a list
 val read_option : decoder -> (decoder -> 'a) -> 'a option
 
 val decode : string -> (decoder -> 'a) -> ('a, string) result
 (** Run a reader over the whole input; trailing bytes are an error. *)
 
-val encode : (encoder -> unit) -> string
+val encode : ?size_hint:int -> (encoder -> unit) -> string
 (** Convenience: run an encoding function over a fresh encoder. *)
+
+val encode_with : encoder -> (encoder -> unit) -> string
+(** [encode_with e f] resets [e], runs [f e] and returns the bytes — the
+    allocation-light path for senders that retain an encoder. *)
+
+val encode_calls : unit -> int
+(** Monotone count of message serializations started via {!encode} or
+    {!encode_with}, across the whole process. Tests use deltas of this
+    counter to assert that broadcast paths serialize each message once
+    per broadcast, not once per destination. *)

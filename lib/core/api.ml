@@ -118,12 +118,9 @@ let read t pos =
 let read_quorum t pos ~on_result =
   let round = { rpos = pos; answers = []; resolved = false; callback = on_result } in
   t.reads <- round :: t.reads;
-  Array.iter
-    (fun node ->
-      Bp_net.Transport.send t.transport ~dst:node
-        ~tag:(Proto.aux_tag t.participant)
-        (Proto.encode (Proto.Read_query { pos })))
-    t.pbft_cfg.Bp_pbft.Config.nodes
+  Bp_net.Transport.broadcast t.transport ~dsts:t.pbft_cfg.Bp_pbft.Config.nodes
+    ~tag:(Proto.aux_tag t.participant)
+    (Proto.encode (Proto.Read_query { pos }))
 
 let read_linearizable t pos ~on_result =
   (* A committed read marker orders the read after all earlier commits. *)

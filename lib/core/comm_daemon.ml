@@ -74,11 +74,17 @@ let request_signatures t st =
   | Some pair -> st.sigs <- [ pair ]
   | None -> ());
   let self = Unit_node.addr t.node in
-  Array.iter
-    (fun peer ->
-      if not (Addr.equal peer self) then
-        send_aux t ~dst:peer (Proto.Sign_request { transmission = st.txn }))
-    (Unit_node.peers t.node);
+  (* Unit peers all live in one datacenter, so the fan-out shares one aux
+     tag — encode the sign request once for the whole round. *)
+  let others =
+    Array.of_list
+      (List.filter
+         (fun peer -> not (Addr.equal peer self))
+         (Array.to_list (Unit_node.peers t.node)))
+  in
+  Bp_net.Transport.broadcast (Unit_node.transport t.node) ~dsts:others
+    ~tag:(Proto.aux_tag self.Addr.dc)
+    (Proto.encode (Proto.Sign_request { transmission = st.txn }));
   maybe_ready t st
 
 let track t ~pos (comm : Record.communication) =

@@ -1,11 +1,15 @@
+(* CRC-32 (IEEE 802.3, zlib variant) on untagged native-int arithmetic.
+   The table and accumulator are plain [int]s — the hot loop is one table
+   load, one shift and two xors per byte, with no boxing. The public API
+   stays [int32] so checksums round-trip through the 4-byte wire field. *)
+
 let table =
   lazy
     (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
+         let c = ref n in
          for _ = 0 to 7 do
-           if Int32.logand !c 1l <> 0l then
-             c := Int32.logxor 0xedb88320l (Int32.shift_right_logical !c 1)
-           else c := Int32.shift_right_logical !c 1
+           if !c land 1 <> 0 then c := 0xedb88320 lxor (!c lsr 1)
+           else c := !c lsr 1
          done;
          !c))
 
@@ -15,14 +19,14 @@ let update crc buf ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length buf then
     invalid_arg "Crc32.update";
   let table = Lazy.force table in
-  let c = ref (Int32.logxor crc 0xffffffffl) in
+  let c = ref (Int32.to_int crc land 0xffffffff lxor 0xffffffff) in
   for i = off to off + len - 1 do
-    let idx =
-      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get buf i)))) 0xffl)
-    in
-    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+    c :=
+      Array.unsafe_get table
+        ((!c lxor Char.code (Bytes.unsafe_get buf i)) land 0xff)
+      lxor (!c lsr 8)
   done;
-  Int32.logxor !c 0xffffffffl
+  Int32.of_int (!c lxor 0xffffffff)
 
 let bytes buf ~off ~len = update empty buf ~off ~len
 

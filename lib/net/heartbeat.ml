@@ -48,10 +48,13 @@ let create transport ~peers ~period ~timeout ~on_suspect ?(on_restore = ignore) 
           end);
   let ping_timer =
     Engine.periodic engine ~every:period (fun () ->
-        Addr.Tbl.iter
-          (fun p _ ->
-            Transport.send transport ~reliable:false ~dst:p ~tag:ping_tag "")
-          t.peers)
+        (* Collect in table-iteration order (matching the old per-peer
+           send loop), then ping with one shared sealed frame. *)
+        let dsts = ref [] in
+        Addr.Tbl.iter (fun p _ -> dsts := p :: !dsts) t.peers;
+        Transport.broadcast transport ~reliable:false
+          ~dsts:(Array.of_list (List.rev !dsts))
+          ~tag:ping_tag "")
   in
   let check_timer =
     Engine.periodic engine ~every:period (fun () ->

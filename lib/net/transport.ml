@@ -60,6 +60,7 @@ type t = {
   self : Addr.t;
   handlers : (string, src:Addr.t -> string -> unit) Hashtbl.t;
   peers : peer Addr.Tbl.t;
+  scratch : Bp_codec.Wire.encoder; (* per-destination packet assembly *)
   mutable retransmissions : int;
   mutable discarded : int;
   mutable stopped : bool;
@@ -202,6 +203,7 @@ let create net self =
       self;
       handlers = Hashtbl.create 8;
       peers = Addr.Tbl.create 16;
+      scratch = Bp_codec.Wire.encoder ~size_hint:512 ();
       retransmissions = 0;
       discarded = 0;
       stopped = false;
@@ -213,22 +215,88 @@ let create net self =
 let set_handler t ~tag handler = Hashtbl.replace t.handlers tag handler
 let clear_handler t ~tag = Hashtbl.remove t.handlers tag
 
+(* Loop-back: deliver asynchronously (keeping run-to-completion event
+   semantics) without touching the network. *)
+let loopback t ~tag payload =
+  ignore
+    (Engine.schedule t.engine ~after:Time.zero (fun () ->
+         dispatch t ~src:t.self ~tag payload))
+
+(* Register [seq] on the peer's reliable stream (send_times must be
+   stamped before the packet departs so Karn's sample is conservative). *)
+let reserve_seq t p ~tag payload =
+  let seq = p.next_send_seq in
+  p.next_send_seq <- seq + 1;
+  p.unacked <- Int_map.add seq (tag, payload) p.unacked;
+  p.send_times <- Int_map.add seq (Engine.now t.engine) p.send_times;
+  seq
+
 let send t ?(reliable = true) ~dst ~tag payload =
-  if Addr.equal dst t.self then
-    (* Loop-back: deliver asynchronously (keeping run-to-completion event
-       semantics) without touching the network. *)
-    ignore
-      (Engine.schedule t.engine ~after:Time.zero (fun () ->
-           dispatch t ~src:t.self ~tag payload))
+  if Addr.equal dst t.self then loopback t ~tag payload
   else if not reliable then raw_send t ~dst (Unreliable { tag; payload })
   else begin
     let p = peer_of t dst in
-    let seq = p.next_send_seq in
-    p.next_send_seq <- seq + 1;
-    p.unacked <- Int_map.add seq (tag, payload) p.unacked;
-    p.send_times <- Int_map.add seq (Engine.now t.engine) p.send_times;
+    let seq = reserve_seq t p ~tag payload in
     raw_send t ~dst (Data { seq; tag; payload });
     arm_retransmit t p
+  end
+
+(* Encode-once broadcast. The (tag, payload) suffix — all of the message
+   body except the per-peer stream header — is serialized exactly once
+   per broadcast; each destination then costs one small header write plus
+   a blit into the frame, instead of a full re-serialization. Unreliable
+   broadcasts share the entire sealed frame. Wire format and send order
+   are identical to a loop of {!send}, so virtual-time results do not
+   change. *)
+let broadcast t ?(reliable = true) ~dsts ~tag payload =
+  if Array.length dsts > 0 then begin
+    let suffix =
+      Bp_codec.Wire.encode
+        ~size_hint:(String.length tag + String.length payload + 12)
+        (fun e ->
+          Bp_codec.Wire.string e tag;
+          Bp_codec.Wire.string e payload)
+    in
+    (* Per-destination assembly reuses the endpoint's scratch encoder and
+       does not re-walk the message (not counted by Wire.encode_calls). *)
+    let assemble header_kind seq =
+      Bp_codec.Wire.reset t.scratch;
+      Bp_codec.Wire.u8 t.scratch header_kind;
+      (match seq with
+      | Some s -> Bp_codec.Wire.varint t.scratch s
+      | None -> ());
+      Bp_codec.Wire.fixed t.scratch suffix;
+      Bp_codec.Frame.seal (Bp_codec.Wire.to_string t.scratch)
+    in
+    if not reliable then begin
+      let frame = ref None in
+      Array.iter
+        (fun dst ->
+          if Addr.equal dst t.self then loopback t ~tag payload
+          else begin
+            let f =
+              match !frame with
+              | Some f -> f
+              | None ->
+                  let f = assemble 0 None in
+                  frame := Some f;
+                  f
+            in
+            Network.send t.net ~src:t.self ~dst f
+          end)
+        dsts
+    end
+    else
+      Array.iter
+        (fun dst ->
+          if Addr.equal dst t.self then loopback t ~tag payload
+          else begin
+            let p = peer_of t dst in
+            let seq = reserve_seq t p ~tag payload in
+            Network.send t.net ~src:t.self ~dst (assemble 1 (Some seq));
+            arm_retransmit t p
+          end)
+        dsts
   end
 
 let stop t =

@@ -30,6 +30,15 @@ val send : t -> ?reliable:bool -> dst:Bp_sim.Addr.t -> tag:string -> string -> u
     link is eventually non-lossy. Unreliable messages may be lost,
     duplicated (never corrupted — frames catch that) or reordered. *)
 
+val broadcast :
+  t -> ?reliable:bool -> dsts:Bp_sim.Addr.t array -> tag:string -> string -> unit
+(** Semantically identical to calling {!send} for each destination in
+    array order (self-destinations loop back), but the message body is
+    serialized exactly once per broadcast: destinations share the encoded
+    (tag, payload) suffix, and unreliable broadcasts share the entire
+    sealed frame. Wire bytes and send order are unchanged, so simulated
+    timings are identical to the send-loop equivalent. *)
+
 val stop : t -> unit
 (** Cancel all retransmission timers (used at controlled shutdown). *)
 

@@ -61,7 +61,9 @@ let send t ~dst_id m =
     (Msg.encode m)
 
 let broadcast t m =
-  Array.iteri (fun i _ -> send t ~dst_id:i m) t.cfg.nodes
+  (* Encode once for the whole cluster, not once per acceptor. *)
+  Bp_net.Transport.broadcast t.transport ~dsts:t.cfg.nodes ~tag:Msg.tag
+    (Msg.encode m)
 
 let learn t instance value =
   match Hashtbl.find_opt t.chosen instance with

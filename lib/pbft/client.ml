@@ -31,10 +31,8 @@ let broadcast_request t request =
   let sealed =
     Msg.seal t.cfg ~sender:(Bp_net.Transport.addr t.transport) (Msg.Request request)
   in
-  Array.iter
-    (fun addr ->
-      Bp_net.Transport.send t.transport ~dst:addr ~tag:t.cfg.Config.tag sealed)
-    t.cfg.Config.nodes
+  Bp_net.Transport.broadcast t.transport ~dsts:t.cfg.Config.nodes
+    ~tag:t.cfg.Config.tag sealed
 
 let rec arm_timer t p =
   p.timer <-

@@ -76,11 +76,11 @@ let request_key (r : Msg.request) = (client_key r.Msg.client, r.Msg.ts)
 let timer_key (ck, ts) = Printf.sprintf "%s#%d" ck ts
 
 let broadcast t body =
+  (* Seal once, serialize the transport suffix once: the whole broadcast
+     encodes the message exactly one time regardless of cluster size. *)
   let sealed = Msg.seal t.cfg ~sender:(self_addr t) body in
-  Array.iter
-    (fun addr ->
-      Bp_net.Transport.send t.transport ~dst:addr ~tag:t.cfg.Config.tag sealed)
-    t.cfg.Config.nodes
+  Bp_net.Transport.broadcast t.transport ~dsts:t.cfg.Config.nodes
+    ~tag:t.cfg.Config.tag sealed
 
 let reply_tag cfg = cfg.Config.tag ^ ".reply"
 

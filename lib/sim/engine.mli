@@ -31,7 +31,14 @@ val cancel : timer -> unit
 (** Idempotent; cancelling a fired timer is a no-op. *)
 
 val pending : t -> int
-(** Live (uncancelled, unfired) events. *)
+(** Live (uncancelled, unfired) events. O(1): a counter maintained on
+    schedule, fire and cancel, not a heap scan. *)
+
+val cancelled_backlog : t -> int
+(** Cancelled events still occupying heap slots. Normally discarded
+    lazily as they surface; once they exceed an internal threshold and
+    outnumber live events, the heap is compacted eagerly. Exposed for
+    the engine micro-benchmarks and tests. *)
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Drain the queue. [until] stops the clock at that instant (events beyond

@@ -28,7 +28,9 @@ type t = {
   mutable faults : faults;
   nodes : node_state Addr.Tbl.t;
   rng : Bp_util.Rng.t;
-  mutable down_links : (int * int) list;
+  down_links : (int * int, unit) Hashtbl.t;
+      (* unordered DC pairs, keyed (min, max): O(1) membership on the
+         per-send hot path instead of an association-list scan *)
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -45,7 +47,7 @@ let create engine topology ?(faults = no_faults) () =
     faults;
     nodes = Addr.Tbl.create 64;
     rng = Bp_util.Rng.split (Engine.rng engine);
-    down_links = [];
+    down_links = Hashtbl.create 8;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -90,11 +92,11 @@ let recover_dc t dc =
 let set_link t a b state =
   let key = (min a b, max a b) in
   match state with
-  | `Down -> if not (List.mem key t.down_links) then t.down_links <- key :: t.down_links
-  | `Up -> t.down_links <- List.filter (fun k -> k <> key) t.down_links
+  | `Down -> Hashtbl.replace t.down_links key ()
+  | `Up -> Hashtbl.remove t.down_links key
 
 let link_down t a b =
-  a <> b && List.mem (min a b, max a b) t.down_links
+  a <> b && Hashtbl.mem t.down_links (min a b, max a b)
 
 let flip_byte rng payload =
   if String.length payload = 0 then payload

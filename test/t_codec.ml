@@ -24,6 +24,85 @@ let test_zigzag_roundtrip () =
       | Error e -> Alcotest.fail e)
     [ 0; 1; -1; 2; -2; 1000; -1000; (1 lsl 40) - 1; -(1 lsl 40) ]
 
+let test_zigzag_extremes () =
+  (* zigzag must be total on the full int range: min_int used to overflow
+     into a negative raw varint and fail to encode. *)
+  List.iter
+    (fun n ->
+      let s = Wire.encode (fun e -> Wire.zigzag e n) in
+      match Wire.decode s Wire.read_zigzag with
+      | Ok m -> Alcotest.(check int) (string_of_int n) n m
+      | Error e -> Alcotest.fail e)
+    [ min_int; min_int + 1; max_int; max_int - 1; min_int / 2; max_int / 2 ]
+
+let test_varint_rejection_is_precise () =
+  (* Exactly 10 continuation bytes: one too many for a 63-bit int. The
+     error must say so rather than looping or silently wrapping. *)
+  let hostile = String.make 9 '\xff' ^ "\x01" in
+  (match Wire.decode hostile Wire.read_varint with
+  | Ok _ -> Alcotest.fail "10-byte varint accepted"
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions the limit: %S" msg)
+        true
+        (String.length msg > 0
+        && (let has_sub sub =
+              let n = String.length sub and m = String.length msg in
+              let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+              go 0
+            in
+            has_sub "10 bytes")));
+  (* 9 bytes ending the encoding is still fine (max_int needs 9). *)
+  let ok = Wire.encode (fun e -> Wire.varint e max_int) in
+  Alcotest.(check int) "max_int is 9 bytes" 9 (String.length ok);
+  match Wire.decode ok Wire.read_varint with
+  | Ok m -> Alcotest.(check int) "max_int roundtrip" max_int m
+  | Error e -> Alcotest.fail e
+
+let test_varint_negative_result_rejected () =
+  (* A 9-byte raw varint whose 63-bit value has the top bit set decodes
+     to a negative int: read_varint must reject it (read_zigzag may not). *)
+  let hostile = String.make 8 '\x80' ^ "\x40" in
+  match Wire.decode hostile Wire.read_varint with
+  | Ok m -> Alcotest.fail (Printf.sprintf "negative varint accepted: %d" m)
+  | Error _ -> ()
+
+let test_encoder_reuse () =
+  let e = Wire.encoder ~size_hint:8 () in
+  let one = Wire.encode_with e (fun e -> Wire.string e "first payload") in
+  let two = Wire.encode_with e (fun e -> Wire.varint e 7) in
+  Alcotest.(check (result string string))
+    "first" (Ok "first payload")
+    (Wire.decode one Wire.read_string);
+  Alcotest.(check (result int string)) "second" (Ok 7) (Wire.decode two Wire.read_varint);
+  (* Manual reset + primitives (the transport's packet-assembly path). *)
+  Wire.reset e;
+  Wire.u8 e 3;
+  Wire.fixed e "abc";
+  Alcotest.(check int) "length" 4 (Wire.length e);
+  Alcotest.(check string) "manual assembly" "\x03abc" (Wire.to_string e)
+
+let test_read_fixed_and_skip () =
+  let payload = String.make 4096 'p' in
+  (* Whole-buffer read_fixed must return the original string unchanged
+     (zero-copy fast path). *)
+  (match Wire.decode payload (fun d -> Wire.read_fixed d (String.length payload)) with
+  | Ok s -> Alcotest.(check bool) "zero-copy" true (s == payload)
+  | Error e -> Alcotest.fail e);
+  (* skip + partial read_fixed. *)
+  let enc = "hdr" ^ payload in
+  (match
+     Wire.decode enc (fun d ->
+         Wire.skip d 3;
+         Wire.read_fixed d (String.length payload))
+   with
+  | Ok s -> Alcotest.(check string) "after skip" payload s
+  | Error e -> Alcotest.fail e);
+  (* skip past the end must fail, not crash. *)
+  match Wire.decode "ab" (fun d -> Wire.skip d 3; Wire.read_u8 d) with
+  | Ok _ -> Alcotest.fail "skip past end accepted"
+  | Error _ -> ()
+
 let test_string_roundtrip () =
   List.iter
     (fun s ->
@@ -138,6 +217,21 @@ let qcheck_wire_never_raises =
       with
       | Ok _ | Error _ -> true)
 
+let qcheck_zigzag_total =
+  QCheck.Test.make ~name:"zigzag total on full int range" ~count:1000
+    QCheck.(
+      let open Gen in
+      make ~print:string_of_int
+        (oneof
+           [
+             oneofl [ min_int; min_int + 1; max_int; 0; 1; -1 ];
+             map (fun (a, b) -> (a lsl 32) lxor b) (pair int int);
+             int;
+           ]))
+    (fun n ->
+      let enc = Wire.encode (fun e -> Wire.zigzag e n) in
+      Wire.decode enc Wire.read_zigzag = Ok n)
+
 let qcheck_frame_roundtrip =
   QCheck.Test.make ~name:"frame roundtrip" ~count:300
     QCheck.(string_of_size Gen.(0 -- 256))
@@ -151,6 +245,11 @@ let suite =
         tc "varint roundtrip" test_varint_roundtrip;
         tc "varint negative rejected" test_varint_negative_rejected;
         tc "zigzag roundtrip" test_zigzag_roundtrip;
+        tc "zigzag extremes" test_zigzag_extremes;
+        tc "varint rejection is precise" test_varint_rejection_is_precise;
+        tc "varint negative result rejected" test_varint_negative_result_rejected;
+        tc "encoder reuse" test_encoder_reuse;
+        tc "read_fixed + skip" test_read_fixed_and_skip;
         tc "string roundtrip" test_string_roundtrip;
         tc "composite roundtrip" test_composite_roundtrip;
         tc "trailing bytes" test_decode_trailing_bytes;
@@ -158,6 +257,7 @@ let suite =
         tc "hostile list length" test_decode_hostile_list_length;
         tc "overlong varint" test_decode_overlong_varint;
         QCheck_alcotest.to_alcotest qcheck_wire_string_list;
+        QCheck_alcotest.to_alcotest qcheck_zigzag_total;
         QCheck_alcotest.to_alcotest qcheck_wire_never_raises;
       ] );
     ( "codec.frame",

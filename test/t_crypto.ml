@@ -253,6 +253,60 @@ let test_signer_idempotent_registration () =
   Alcotest.(check bool) "keys stable" true
     (Signer.verify ks ~signer:"x" ~msg:"m" ~signature:s)
 
+(* ---------- differential tests against retained references ----------
+   Sha256_ref is the pre-optimization Int32 implementation, kept verbatim
+   as an oracle. Crc32 is checked against a straightforward bitwise
+   (table-free) evaluation of the same reflected polynomial. *)
+
+let test_sha256_ref_vectors () =
+  (* The oracle itself must pass FIPS vectors, or differential agreement
+     proves nothing. *)
+  List.iter
+    (fun (msg, want) -> Alcotest.(check string) msg want (Sha256_ref.hex msg))
+    sha256_vectors
+
+let big_input_gen =
+  (* Random strings up to 1 MiB, biased so most samples are small/medium
+     but every run crosses the megabyte mark at least a few times. *)
+  QCheck.string_of_size
+    QCheck.Gen.(
+      oneof [ 0 -- 512; 0 -- 65536; 1_000_000 -- 1_048_576 ])
+
+let qcheck_sha256_differential =
+  QCheck.Test.make ~name:"sha256 = reference (inputs to 1 MiB)" ~count:16
+    big_input_gen
+    (fun s -> Sha256.digest s = Sha256_ref.digest s)
+
+let qcheck_sha256_incremental_differential =
+  QCheck.Test.make ~name:"sha256 incremental = reference incremental" ~count:30
+    QCheck.(pair (string_of_size Gen.(0 -- 3000)) (int_bound 2999))
+    (fun (s, cut) ->
+      let cut = if String.length s = 0 then 0 else cut mod String.length s in
+      let a = String.sub s 0 cut and b = String.sub s cut (String.length s - cut) in
+      let ctx = Sha256.init () in
+      Sha256.update ctx a;
+      Sha256.update ctx b;
+      let rctx = Sha256_ref.init () in
+      Sha256_ref.update rctx a;
+      Sha256_ref.update rctx b;
+      Sha256.finalize ctx = Sha256_ref.finalize rctx)
+
+let crc32_bitwise s =
+  let crc = ref 0xffffffff in
+  String.iter
+    (fun ch ->
+      crc := !crc lxor Char.code ch;
+      for _ = 0 to 7 do
+        crc := if !crc land 1 = 1 then (!crc lsr 1) lxor 0xedb88320 else !crc lsr 1
+      done)
+    s;
+  Int32.of_int (!crc lxor 0xffffffff)
+
+let qcheck_crc32_differential =
+  QCheck.Test.make ~name:"crc32 = bitwise reference (inputs to 1 MiB)" ~count:12
+    big_input_gen
+    (fun s -> Crc32.string s = crc32_bitwise s)
+
 let qcheck_sha256_deterministic =
   QCheck.Test.make ~name:"sha256 deterministic & 32 bytes" ~count:300
     QCheck.(string_of_size Gen.(0 -- 200))
@@ -282,7 +336,10 @@ let suite =
         tc "incremental = one-shot" test_sha256_incremental_equals_oneshot;
         tc "block boundaries" test_sha256_block_boundaries;
         tc "digest_list" test_sha256_digest_list;
+        tc "reference passes NIST vectors" test_sha256_ref_vectors;
         QCheck_alcotest.to_alcotest qcheck_sha256_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_sha256_differential;
+        QCheck_alcotest.to_alcotest qcheck_sha256_incremental_differential;
       ] );
     ( "crypto.hmac",
       [
@@ -296,6 +353,7 @@ let suite =
         tc "known vectors" test_crc32_vectors;
         tc "incremental" test_crc32_incremental;
         tc "detects bit flip" test_crc32_detects_flip;
+        QCheck_alcotest.to_alcotest qcheck_crc32_differential;
       ] );
     ( "crypto.merkle",
       [

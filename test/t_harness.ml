@@ -173,6 +173,22 @@ let test_runner_helpers () =
   Alcotest.(check bool) "payloads distinct" true
     (Runner.payload ~size:64 1 <> Runner.payload ~size:64 2)
 
+(* The whole stack is a deterministic simulation: rerunning an experiment
+   at the same scale must reproduce every measured number bit for bit.
+   This is the regression net for the hot-path optimizations — a perf
+   change that perturbs virtual time shows up here as a diff, not as a
+   silently shifted result. *)
+let test_experiments_deterministic () =
+  let render_all reports =
+    String.concat "\n" (List.map Report.render reports)
+  in
+  let a = render_all (Exp_consensus.fig7 ~scale:0.2 ()) in
+  let b = render_all (Exp_consensus.fig7 ~scale:0.2 ()) in
+  Alcotest.(check string) "fig7 twice, identical" a b;
+  let c = render_all (Exp_comm.fig6 ~scale:0.2 ()) in
+  let d = render_all (Exp_comm.fig6 ~scale:0.2 ()) in
+  Alcotest.(check string) "fig6 twice, identical" c d
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   [
@@ -190,5 +206,6 @@ let suite =
         tc "costs sanity" test_costs_sanity;
         tc "workload open loop" test_workload_open_loop;
         tc "runner helpers" test_runner_helpers;
+        tc "experiments deterministic" test_experiments_deterministic;
       ] );
   ]

@@ -172,6 +172,34 @@ let test_heartbeat_stop_cancels () =
   Engine.run ~until:(Time.of_sec 1.0) e;
   Alcotest.(check int) "no live timers" 0 (Engine.pending e)
 
+(* The encode-once property: a broadcast serializes the (tag, payload)
+   suffix exactly once, so the Wire.encode_calls delta must not depend on
+   the number of destinations. *)
+let broadcast_encode_delta ~reliable ~fanout =
+  let e, net = setup () in
+  let src = Transport.create net (node 0 0) in
+  let dsts =
+    Array.init fanout (fun i ->
+        let t = Transport.create net (node (i mod 4) (1 + (i / 4))) in
+        Transport.set_handler t ~tag:"bc" (fun ~src:_ _ -> ());
+        Transport.addr t)
+  in
+  let before = Bp_codec.Wire.encode_calls () in
+  Transport.broadcast src ~reliable ~dsts ~tag:"bc" (String.make 256 'x');
+  let delta = Bp_codec.Wire.encode_calls () - before in
+  Engine.run ~until:(Time.of_sec 5.0) e;
+  delta
+
+let test_broadcast_encodes_once () =
+  let d2 = broadcast_encode_delta ~reliable:true ~fanout:2 in
+  let d6 = broadcast_encode_delta ~reliable:true ~fanout:6 in
+  Alcotest.(check int) "reliable: one serialization per broadcast" 1 d2;
+  Alcotest.(check int) "reliable: fan-out does not re-encode" d2 d6;
+  let u2 = broadcast_encode_delta ~reliable:false ~fanout:2 in
+  let u6 = broadcast_encode_delta ~reliable:false ~fanout:6 in
+  Alcotest.(check int) "unreliable: one serialization per broadcast" 1 u2;
+  Alcotest.(check int) "unreliable: fan-out does not re-encode" u2 u6
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   [
@@ -186,6 +214,7 @@ let suite =
         tc "unreliable mode is lossy" test_transport_unreliable_lossy;
         tc "bidirectional" test_transport_bidirectional;
         tc "many peers" test_transport_many_peers;
+        tc "broadcast encodes once" test_broadcast_encodes_once;
       ] );
     ( "net.heartbeat",
       [

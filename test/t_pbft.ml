@@ -378,6 +378,24 @@ let test_config_validation () =
   Alcotest.(check int) "quorum" 5 (Config.quorum cfg);
   Alcotest.(check int) "primary rotation" 3 (Config.primary_of_view cfg 10)
 
+(* A PBFT broadcast (seal + transport fan-out) must serialize the message
+   a fixed number of times — body, signed envelope, transport suffix —
+   no matter how many replicas receive it. *)
+let pbft_broadcast_encode_delta ~n =
+  let c = make_cluster ~n () in
+  let body = Msg.Prepare { view = 0; seq = 1; digest = "d"; replica = 0 } in
+  let before = Bp_codec.Wire.encode_calls () in
+  let sealed = Msg.seal c.cfg ~sender:c.cfg.Config.nodes.(0) body in
+  Bp_net.Transport.broadcast c.transports.(0) ~dsts:c.cfg.Config.nodes
+    ~tag:c.cfg.Config.tag sealed;
+  Bp_codec.Wire.encode_calls () - before
+
+let test_broadcast_seals_and_encodes_once () =
+  let d4 = pbft_broadcast_encode_delta ~n:4 in
+  let d7 = pbft_broadcast_encode_delta ~n:7 in
+  Alcotest.(check int) "body + envelope + transport suffix" 3 d4;
+  Alcotest.(check int) "independent of cluster size" d4 d7
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   [
@@ -386,6 +404,7 @@ let suite =
         tc "body roundtrip" test_msg_roundtrip;
         tc "envelope verification" test_envelope_verification;
         tc "config validation" test_config_validation;
+        tc "broadcast seals and encodes once" test_broadcast_seals_and_encodes_once;
       ] );
     ( "pbft.normal",
       [

@@ -103,6 +103,69 @@ let test_engine_schedule_at_past_rejected () =
     Alcotest.fail "expected raise"
   with Invalid_argument _ -> ()
 
+(* [pending] is O(1) bookkeeping, not a heap scan — these pin down its
+   value through every transition: schedule, cancel (before and after
+   firing), periodic re-arm, and the drain at end of run. *)
+let test_engine_pending_accounting () =
+  let e = Engine.create () in
+  Alcotest.(check int) "empty" 0 (Engine.pending e);
+  let timers =
+    List.init 10 (fun i -> Engine.schedule e ~after:(ms (float_of_int (i + 1))) ignore)
+  in
+  Alcotest.(check int) "ten live" 10 (Engine.pending e);
+  Alcotest.(check int) "no backlog yet" 0 (Engine.cancelled_backlog e);
+  List.iteri (fun i t -> if i mod 2 = 0 then Engine.cancel t) timers;
+  Alcotest.(check int) "five live after cancels" 5 (Engine.pending e);
+  Alcotest.(check int) "five in backlog" 5 (Engine.cancelled_backlog e);
+  (* Double-cancel must not double-count. *)
+  Engine.cancel (List.hd timers);
+  Alcotest.(check int) "idempotent cancel" 5 (Engine.pending e);
+  Alcotest.(check int) "idempotent backlog" 5 (Engine.cancelled_backlog e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e);
+  Alcotest.(check int) "backlog drained" 0 (Engine.cancelled_backlog e)
+
+let test_engine_pending_periodic () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let timer = ref None in
+  timer :=
+    Some
+      (Engine.periodic e ~every:(ms 1.0) (fun () ->
+           incr hits;
+           (* While the action runs the next occurrence is already queued. *)
+           Alcotest.(check int) "re-armed" 1 (Engine.pending e);
+           if !hits = 3 then Option.iter Engine.cancel !timer));
+  Alcotest.(check int) "one live timer" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "three firings" 3 !hits;
+  Alcotest.(check int) "cancelled and drained" 0 (Engine.pending e)
+
+(* Mass-cancellation beyond the purge threshold compacts the heap eagerly
+   (backlog returns to zero on the next schedule) and never loses or
+   reorders the survivors. *)
+let test_engine_purge_compacts_backlog () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let timers =
+    Array.init 1000 (fun i ->
+        Engine.schedule e
+          ~after:(ms (float_of_int (i + 1)))
+          (fun () -> fired := i :: !fired))
+  in
+  Array.iteri (fun i t -> if i < 600 then Engine.cancel t) timers;
+  Alcotest.(check int) "live survivors" 400 (Engine.pending e);
+  Alcotest.(check int) "backlog before purge" 600 (Engine.cancelled_backlog e);
+  (* Backlog (600) exceeds both the threshold and the live count, so the
+     next schedule triggers the eager purge. *)
+  ignore (Engine.schedule e ~after:(ms 5000.0) ignore);
+  Alcotest.(check int) "backlog purged" 0 (Engine.cancelled_backlog e);
+  Alcotest.(check int) "survivors intact" 401 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check (list int)) "survivors fire in schedule order"
+    (List.init 400 (fun i -> 600 + i))
+    (List.rev !fired)
+
 let test_engine_determinism () =
   let run_once () =
     let e = Engine.create ~seed:7L () in
@@ -341,6 +404,9 @@ let suite =
         tc "periodic" test_engine_periodic;
         tc "periodic cancel from action" test_engine_periodic_cancel_from_action;
         tc "schedule_at past rejected" test_engine_schedule_at_past_rejected;
+        tc "pending accounting" test_engine_pending_accounting;
+        tc "pending across periodic" test_engine_pending_periodic;
+        tc "purge compacts backlog" test_engine_purge_compacts_backlog;
         tc "determinism" test_engine_determinism;
       ] );
     ( "sim.topology",
