@@ -32,7 +32,7 @@ let scale =
 let run_experiment e =
   Printf.printf "\n";
   let t0 = Unix.gettimeofday () in
-  List.iter Bp_harness.Report.print (e.Bp_harness.Experiments.run ~scale);
+  List.iter (fun r -> print_string (Bp_harness.Report.render r)) (e.Bp_harness.Experiments.run ~scale);
   let wall = Unix.gettimeofday () -. t0 in
   Printf.printf "   (regenerated in %.1fs wall time)\n%!" wall;
   (e.Bp_harness.Experiments.id, wall)

@@ -34,7 +34,7 @@ let run_experiment id scale verbose =
       Printf.eprintf "unknown experiment %S; try `blockplane-cli list`\n" id;
       exit 1
   | Some e ->
-      List.iter Bp_harness.Report.print (e.Bp_harness.Experiments.run ~scale)
+      List.iter (fun r -> print_string (Bp_harness.Report.render r)) (e.Bp_harness.Experiments.run ~scale)
 
 let run_cmd =
   let id_arg =
@@ -52,7 +52,7 @@ let all_cmd =
     setup_logs verbose;
     List.iter
       (fun e ->
-        List.iter Bp_harness.Report.print (e.Bp_harness.Experiments.run ~scale))
+        List.iter (fun r -> print_string (Bp_harness.Report.render r)) (e.Bp_harness.Experiments.run ~scale))
       Bp_harness.Experiments.all
   in
   Cmd.v

@@ -16,7 +16,7 @@ type t = {
   mutable probe_timer : Engine.timer option;
 }
 
-let promoted t = t.promoted_daemon <> None
+let promoted t = Option.is_some t.promoted_daemon
 let daemon t = t.promoted_daemon
 
 let send_aux t ~dst msg =
@@ -31,12 +31,12 @@ let guaranteed_floor t =
   let values = List.map snd t.replies in
   if List.length values < t.fi + 1 then None
   else begin
-    let sorted = List.sort (fun a b -> compare b a) values in
-    Some (List.nth sorted t.fi)
+    let sorted = List.sort (fun a b -> Int.compare b a) values in
+    List.nth_opt sorted t.fi
   end
 
 let promote t floor =
-  if t.promoted_daemon = None then begin
+  if not (promoted t) then begin
     t.promoted_daemon <-
       Some
         (Comm_daemon.create ~node:t.node ~dest:t.dest ~dest_nodes:t.dest_nodes

@@ -37,7 +37,12 @@ type t = {
 let addr t = t.addr
 let peers t = t.pbft_cfg.Bp_pbft.Config.nodes
 let transport t = t.transport
-let replica t = Option.get t.replica
+let replica t =
+  match t.replica with
+  | Some r -> r
+  | None ->
+      (* [create] installs the replica before returning the node. *)
+      invalid_arg "Unit_node.replica: node not fully constructed"
 let participant t = t.participant
 let log t = t.log
 let app t = t.app

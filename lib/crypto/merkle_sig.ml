@@ -81,4 +81,9 @@ let decode s =
     match Lamport.decode rest with
     | None -> None
     | Some ots -> Some { leaf_pk; ots; proof = { Merkle.leaf_index; path } }
-  with _ -> None
+  with
+  (* Exit: bad side byte; Invalid_argument: out-of-bounds [s.[i]] or
+     [String.sub] on a truncated signature. Anything else is a bug and
+     must propagate. *)
+  | Exit | Invalid_argument _ ->
+    None

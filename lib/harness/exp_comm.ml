@@ -54,7 +54,10 @@ let measure_pair ~scale ~src ~dst ~seed =
           Hashtbl.remove waiting seq;
           let t0 = Hashtbl.find started seq in
           k (Time.to_ms (Time.diff (Engine.now world.Runner.engine) t0)))
-        (List.sort compare ready));
+        (* Sort by sequence only: the snd components are closures, which
+           polymorphic compare would inspect (and crash on) if two seqs
+           ever tied. *)
+        (List.sort (fun (a, _) (b, _) -> Int.compare a b) ready));
   Runner.sequential world.Runner.engine ~n ~warmup:2 ~run_one:(fun _i ~on_done ->
       let seq = Api.next_comm_seq api ~dest:dst in
       Hashtbl.replace started seq (Engine.now world.Runner.engine);

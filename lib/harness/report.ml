@@ -15,7 +15,5 @@ let render t =
   List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "   note: %s\n" n)) t.notes;
   Buffer.contents buf
 
-let print t = print_string (render t)
-
 let ms v = Printf.sprintf "%.1f" v
 let mbps v = Printf.sprintf "%.1f" v

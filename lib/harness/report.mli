@@ -11,8 +11,8 @@ type t = {
 }
 
 val render : t -> string
-
-val print : t -> unit
+(** Callers print the result themselves — library code never writes to
+    stdout (bplint rule R4). *)
 
 val ms : float -> string
 (** "12.3" — millisecond formatting used across reports. *)

@@ -33,11 +33,12 @@ type t = {
   engine : Engine.t;
   rng : Bp_util.Rng.t;
   auto_retry : bool;
-  (* acceptor state *)
+  (* acceptor state; an ordered map so recovery scans are deterministic *)
   mutable promised : Ballot.t;
-  accepted : (int, Ballot.t * string) Hashtbl.t;
+  mutable accepted : (Ballot.t * string) Int_map.t;
   (* learner state *)
   chosen : (int, string) Hashtbl.t;
+  mutable max_chosen : int;
   on_learn : int -> string -> unit;
   (* proposer state *)
   mutable ballot : Ballot.t;
@@ -72,6 +73,7 @@ let learn t instance value =
         raise (Conflicting_choice (instance, existing, value))
   | None ->
       Hashtbl.replace t.chosen instance value;
+      t.max_chosen <- Stdlib.max t.max_chosen instance;
       t.on_learn instance value
 
 (* ---------- acceptor ---------- *)
@@ -80,7 +82,7 @@ let on_prepare t ~src (ballot : Ballot.t) from_instance =
   if Ballot.(ballot >= t.promised) then begin
     t.promised <- ballot;
     let accepted =
-      Hashtbl.fold
+      Int_map.fold
         (fun instance (b, v) acc ->
           if instance >= from_instance then
             { Msg.instance; ballot = b; value = v } :: acc
@@ -94,7 +96,7 @@ let on_prepare t ~src (ballot : Ballot.t) from_instance =
 let on_propose t ~src ballot instance value =
   if Ballot.(ballot >= t.promised) then begin
     t.promised <- ballot;
-    Hashtbl.replace t.accepted instance (ballot, value);
+    t.accepted <- Int_map.add instance (ballot, value) t.accepted;
     send t ~dst_id:src (Msg.Accepted { ballot; instance; ok = true })
   end
   else send t ~dst_id:src (Msg.Accepted { ballot; instance; ok = false })
@@ -186,7 +188,7 @@ let on_promise t ~src ballot ok accepted_entries =
               if not (Hashtbl.mem t.chosen instance) then
                 start_proposal t instance value ignore)
             st.seen_accepted;
-          Hashtbl.iter (fun i _ -> max_inst := Stdlib.max !max_inst i) t.chosen;
+          max_inst := Stdlib.max !max_inst t.max_chosen;
           t.next_instance <- Stdlib.max t.next_instance (!max_inst + 1);
           st.on_elected ()
         end
@@ -239,8 +241,9 @@ let create ?(auto_retry = false) transport cfg ~id ~on_learn =
       rng = Bp_util.Rng.split (Engine.rng engine);
       auto_retry;
       promised = Ballot.zero;
-      accepted = Hashtbl.create 64;
+      accepted = Int_map.empty;
       chosen = Hashtbl.create 64;
+      max_chosen = -1;
       on_learn;
       ballot = Ballot.zero;
       leading = false;

@@ -22,6 +22,11 @@ type slot = {
 
 type status = Normal | View_changing of int
 
+exception Invariant_violation of string
+
+let invariant_violation fmt =
+  Printf.ksprintf (fun s -> raise (Invariant_violation s)) fmt
+
 type t = {
   cfg : Config.t;
   id : int;
@@ -53,7 +58,8 @@ type t = {
   mutable vc_timer : Engine.timer option;
   (* state transfer *)
   archive : (int, string * Msg.request list) Hashtbl.t; (* executed batches *)
-  fetch_votes : (int * string, Int_set.t * Msg.request list) Hashtbl.t;
+  (* seq -> per-digest vote tallies: (digest, voters, batch) *)
+  fetch_votes : (int, (string * Int_set.t * Msg.request list) list) Hashtbl.t;
   mutable fetching : bool;
   mutable stopped : bool;
   mutable suppress_commits : bool;
@@ -62,6 +68,7 @@ type t = {
 let id t = t.id
 let view t = t.view
 let is_primary t = Config.primary_of_view t.cfg t.view = t.id
+let is_normal t = match t.status with Normal -> true | View_changing _ -> false
 let last_executed t = t.last_exec
 let low_watermark t = t.low_watermark
 let exec_chain t = t.chain
@@ -73,7 +80,25 @@ let self_addr t = t.cfg.Config.nodes.(t.id)
 
 let client_key (a : Addr.t) = Addr.to_string a
 let request_key (r : Msg.request) = (client_key r.Msg.client, r.Msg.ts)
+let key_equal (ck_a, ts_a) (ck_b, ts_b) = String.equal ck_a ck_b && ts_a = ts_b
 let timer_key (ck, ts) = Printf.sprintf "%s#%d" ck ts
+
+let request_equal (a : Msg.request) (b : Msg.request) =
+  Addr.equal a.Msg.client b.Msg.client
+  && a.Msg.ts = b.Msg.ts && a.Msg.kind = b.Msg.kind
+  && String.equal a.Msg.op b.Msg.op
+
+(* Structural equality for new-view batch lists, monomorphized so a
+   byzantine peer cannot exploit (and we cannot pay for) polymorphic
+   compare on protocol payloads. *)
+let batches_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (seq_a, dg_a, batch_a) (seq_b, dg_b, batch_b) ->
+         seq_a = seq_b && String.equal dg_a dg_b
+         && List.length batch_a = List.length batch_b
+         && List.for_all2 request_equal batch_a batch_b)
+       a b
 
 let broadcast t body =
   (* Seal once, serialize the transport suffix once: the whole broadcast
@@ -117,6 +142,16 @@ let slot_of t seq =
 let in_window t seq =
   seq > t.low_watermark && seq <= t.low_watermark + t.cfg.Config.watermark_window
 
+(* The digest of a slot that the protocol has already established as
+   proposed: reaching for it on an empty slot is a local-state corruption,
+   not a byzantine input, so fail loudly with the slot's coordinates. *)
+let slot_digest_exn t s =
+  match s.digest with
+  | Some d -> d
+  | None ->
+      invariant_violation "pbft replica %d: slot seq=%d view=%d has no digest"
+        t.id s.seq s.sview
+
 (* ---------- view change triggering ---------- *)
 
 let cancel_request_timer t key =
@@ -145,13 +180,13 @@ let prepared_proofs t =
       if
         seq > t.low_watermark
         && (not s.executed)
-        && s.digest <> None
+        && Option.is_some s.digest
         && List.length matching >= 2 * t.cfg.Config.f
       then
         {
           Msg.pview = s.sview;
           pseq = seq;
-          pdigest = Option.get s.digest;
+          pdigest = slot_digest_exn t s;
           pbatch = s.batch;
           prepare_sigs = List.map (fun (r, _, sg) -> (r, sg)) matching;
         }
@@ -163,8 +198,11 @@ let rec move_to_view t target =
   if target > t.view then begin
     Log.debug (fun m -> m "pbft %d: view change -> %d" t.id target);
     t.status <- View_changing target;
-    (* Clear per-request timers; the new view re-arms protocol progress. *)
-    Hashtbl.iter (fun _ timer -> Engine.cancel timer) t.timers;
+    (* Clear per-request timers; the new view re-arms protocol progress.
+       Cancellation order cannot affect protocol state, so the
+       order-dependent iteration is safe here. *)
+    (Hashtbl.iter (fun _ timer -> Engine.cancel timer) t.timers
+    [@bplint.allow "R2-hiter"]);
     Hashtbl.reset t.timers;
     let body =
       Msg.View_change
@@ -294,24 +332,34 @@ and compute_new_view_batches cfg envelopes =
          view-change messages — at least one of those reporters is honest,
          so a lone byzantine node cannot truncate prepared batches by
          claiming an inflated stable checkpoint. *)
-      let stables = List.sort (fun a b -> compare b a) (List.map (fun vc -> vc.Msg.stable_seq) vcs) in
-      let min_s = List.nth stables (Stdlib.min (List.length stables - 1) cfg.Config.f) in
-      let best = Hashtbl.create 16 in
+      let stables =
+        List.sort (fun a b -> Int.compare b a) (List.map (fun vc -> vc.Msg.stable_seq) vcs)
+      in
+      let min_s =
+        match List.nth_opt stables (Stdlib.min (List.length stables - 1) cfg.Config.f) with
+        | Some s -> s
+        | None -> 0 (* unreachable: vcs passed the quorum check above *)
+      in
+      let best = ref Int_map.empty in
       List.iter
         (fun vc ->
           List.iter
             (fun p ->
               if p.Msg.pseq > min_s && proof_valid cfg p then
-                match Hashtbl.find_opt best p.Msg.pseq with
+                match Int_map.find_opt p.Msg.pseq !best with
                 | Some existing when existing.Msg.pview >= p.Msg.pview -> ()
-                | _ -> Hashtbl.replace best p.Msg.pseq p)
+                | _ -> best := Int_map.add p.Msg.pseq p !best)
             vc.Msg.prepared)
         vcs;
-      let max_s = Hashtbl.fold (fun seq _ acc -> Stdlib.max acc seq) best min_s in
+      let max_s =
+        match Int_map.max_binding_opt !best with
+        | Some (seq, _) -> Stdlib.max min_s seq
+        | None -> min_s
+      in
       let batches =
         List.init (max_s - min_s) (fun i ->
             let seq = min_s + 1 + i in
-            match Hashtbl.find_opt best seq with
+            match Int_map.find_opt seq !best with
             | Some p -> (seq, p.Msg.pdigest, p.Msg.pbatch)
             | None -> (seq, Msg.batch_digest [], []))
       in
@@ -357,24 +405,25 @@ and send_prepare t s =
   end
 
 and check_prepared t s =
-  if
-    (not s.sent_commit)
-    && s.digest <> None
-    && List.length (matching_prepares s) >= 2 * t.cfg.Config.f
-  then begin
-    (* Blockplane hook: run the verification routines before voting to
-       commit (§IV-B). *)
-    let all_valid =
-      List.for_all (fun r -> t.verifier ~kind:r.Msg.kind ~op:r.Msg.op) s.batch
-    in
-    if all_valid then begin
-      s.sent_commit <- true;
-      if not t.suppress_commits then
-        broadcast t
-          (Msg.Commit
-             { view = s.sview; seq = s.seq; digest = Option.get s.digest; replica = t.id })
-    end
-  end
+  match s.digest with
+  | None -> ()
+  | Some digest ->
+      if
+        (not s.sent_commit)
+        && List.length (matching_prepares s) >= 2 * t.cfg.Config.f
+      then begin
+        (* Blockplane hook: run the verification routines before voting to
+           commit (§IV-B). *)
+        let all_valid =
+          List.for_all (fun r -> t.verifier ~kind:r.Msg.kind ~op:r.Msg.op) s.batch
+        in
+        if all_valid then begin
+          s.sent_commit <- true;
+          if not t.suppress_commits then
+            broadcast t
+              (Msg.Commit { view = s.sview; seq = s.seq; digest; replica = t.id })
+        end
+      end
 
 and check_committed t s =
   if
@@ -384,7 +433,7 @@ and check_committed t s =
   then begin
     s.committed <- true;
     try_execute t;
-    if is_primary t && t.status = Normal then begin
+    if is_primary t && is_normal t then begin
       t.in_flight <- false;
       try_form_batch t
     end
@@ -421,20 +470,21 @@ and try_execute t =
 
 and try_form_batch t =
   if
-    is_primary t && t.status = Normal && (not t.in_flight)
+    is_primary t && is_normal t && (not t.in_flight)
     && not (Queue.is_empty t.queue)
     && t.next_seq <= t.low_watermark + t.cfg.Config.watermark_window
   then begin
     let batch = ref [] in
     while (not (Queue.is_empty t.queue)) && List.length !batch < t.cfg.Config.batch_max do
       let r = Queue.pop t.queue in
-      t.queued_keys <- List.filter (fun k -> k <> request_key r) t.queued_keys;
+      let rk = request_key r in
+      t.queued_keys <- List.filter (fun k -> not (key_equal k rk)) t.queued_keys;
       (* Pre-screen with the verification routine; invalid requests are
          dropped here (an honest primary never proposes them). *)
       if t.verifier ~kind:r.Msg.kind ~op:r.Msg.op then batch := r :: !batch
     done;
     let batch = List.rev !batch in
-    if batch <> [] then begin
+    if not (List.is_empty batch) then begin
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
       t.in_flight <- true;
@@ -493,8 +543,8 @@ and handle_request t ~envelope (r : Msg.request) =
         Bp_net.Transport.send t.transport ~dst:r.Msg.client ~tag:(reply_tag t.cfg)
           (Msg.seal t.cfg ~sender:(self_addr t) body)
     | _ ->
-        if is_primary t && t.status = Normal then begin
-          if not (List.mem (request_key r) t.queued_keys) then begin
+        if is_primary t && is_normal t then begin
+          if not (List.exists (key_equal (request_key r)) t.queued_keys) then begin
             Queue.push r t.queue;
             t.queued_keys <- request_key r :: t.queued_keys;
             arm_request_timer t r;
@@ -507,7 +557,7 @@ and handle_request t ~envelope (r : Msg.request) =
              to ourselves (we may be the deposed primary of a view change
              in progress) — the client's retransmissions provide liveness. *)
           let primary = Config.primary_of_view t.cfg t.view in
-          if primary <> t.id && t.status = Normal then
+          if primary <> t.id && is_normal t then
             Bp_net.Transport.send t.transport
               ~dst:t.cfg.Config.nodes.(primary)
               ~tag:t.cfg.Config.tag envelope;
@@ -517,7 +567,7 @@ and handle_request t ~envelope (r : Msg.request) =
 
 and handle_pre_prepare t ~view ~seq ~digest ~batch =
   if
-    t.status = Normal && view = t.view && in_window t seq
+    is_normal t && view = t.view && in_window t seq
     && Config.primary_of_view t.cfg view <> t.id
     && String.equal digest (Msg.batch_digest batch)
     && List.for_all (Msg.request_valid t.cfg) batch
@@ -609,7 +659,7 @@ and handle_fetch t ~from_seq ~replica =
       | Some (digest, batch) -> batches := (seq, digest, batch) :: !batches
       | None -> ()
     done;
-    if !batches <> [] then begin
+    if not (List.is_empty !batches) then begin
       let body = Msg.Fetch_reply { batches = !batches; replica = t.id } in
       Bp_net.Transport.send t.transport ~dst:t.cfg.Config.nodes.(replica)
         ~tag:t.cfg.Config.tag
@@ -621,25 +671,34 @@ and handle_fetch_reply t ~batches ~replica =
   List.iter
     (fun (seq, digest, batch) ->
       if seq > t.last_exec && String.equal digest (Msg.batch_digest batch) then begin
-        let voters, stored =
-          match Hashtbl.find_opt t.fetch_votes (seq, digest) with
-          | Some (v, b) -> (v, b)
-          | None -> (Int_set.empty, batch)
+        let entries = Option.value ~default:[] (Hashtbl.find_opt t.fetch_votes seq) in
+        let entries =
+          match List.partition (fun (d, _, _) -> String.equal d digest) entries with
+          | (d, voters, stored) :: _, rest ->
+              (d, Int_set.add replica voters, stored) :: rest
+          | [], rest -> (digest, Int_set.singleton replica, batch) :: rest
         in
-        Hashtbl.replace t.fetch_votes (seq, digest) (Int_set.add replica voters, stored)
+        Hashtbl.replace t.fetch_votes seq entries
       end)
     batches;
   (* Drain: accept the next sequence once f+1 distinct peers vouch for
-     the same digest — at least one of them is honest and executed it. *)
+     the same digest — at least one of them is honest and executed it.
+     At most one digest can reach f+1 honest votes, so if byzantine peers
+     stuff a second qualifying digest we still pick deterministically:
+     the lexicographically smallest. *)
   let rec drain () =
     let next = t.last_exec + 1 in
+    let qualifying =
+      List.filter
+        (fun (_, voters, _) -> Int_set.cardinal voters >= t.cfg.Config.f + 1)
+        (Option.value ~default:[] (Hashtbl.find_opt t.fetch_votes next))
+    in
     let candidate =
-      Hashtbl.fold
-        (fun (seq, digest) (voters, batch) acc ->
-          if seq = next && Int_set.cardinal voters >= t.cfg.Config.f + 1 then
-            Some (digest, batch)
-          else acc)
-        t.fetch_votes None
+      match
+        List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) qualifying
+      with
+      | (digest, _, batch) :: _ -> Some (digest, batch)
+      | [] -> None
     in
     match candidate with
     | Some (digest, batch) ->
@@ -650,7 +709,7 @@ and handle_fetch_reply t ~batches ~replica =
           s.committed <- true;
           s.sent_commit <- true
         end;
-        Hashtbl.remove t.fetch_votes (next, digest);
+        Hashtbl.remove t.fetch_votes next;
         try_execute t;
         if t.last_exec >= next then drain ()
     | None -> ()
@@ -724,7 +783,8 @@ let on_envelope t ~src:_ envelope =
               && replica <> t.id
             then begin
               match compute_new_view_batches t.cfg view_change_envelopes with
-              | Some expected when expected = batches -> enter_new_view t view batches
+              | Some expected when batches_equal expected batches ->
+                  enter_new_view t view batches
               | _ ->
                   Log.debug (fun m -> m "pbft %d: invalid new-view from %d" t.id replica)
             end
@@ -774,7 +834,9 @@ let create transport cfg ~id ~execute () =
 
 let stop t =
   t.stopped <- true;
-  Hashtbl.iter (fun _ timer -> Engine.cancel timer) t.timers;
+  (* Shutdown path: cancellation order cannot affect protocol state. *)
+  (Hashtbl.iter (fun _ timer -> Engine.cancel timer) t.timers
+  [@bplint.allow "R2-hiter"]);
   Hashtbl.reset t.timers;
   (match t.vc_timer with Some timer -> Engine.cancel timer | None -> ());
   t.vc_timer <- None;

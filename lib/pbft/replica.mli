@@ -20,6 +20,13 @@
 
 type t
 
+exception Invariant_violation of string
+(** Raised when local protocol state contradicts an invariant the replica
+    itself is responsible for (e.g. a prepared slot with no digest). This
+    is never raised on byzantine *input* — malformed or lying messages are
+    dropped — only on impossible local states, carrying the replica id and
+    slot coordinates. *)
+
 val create :
   Bp_net.Transport.t ->
   Config.t ->

@@ -41,5 +41,3 @@ let render ?(align = []) ~header rows =
   List.iter (fun r -> Buffer.add_string buf (draw_row r)) rows;
   Buffer.add_string buf (line '-');
   Buffer.contents buf
-
-let print ?align ~header rows = print_string (render ?align ~header rows)

@@ -5,7 +5,7 @@ type align = Left | Right
 val render : ?align:align list -> header:string list -> string list list -> string
 (** [render ~header rows] draws a boxed table. [align] gives per-column
     alignment (defaults to [Left]); missing entries default to [Left]. Rows
-    shorter than the header are padded with empty cells. *)
+    shorter than the header are padded with empty cells.
 
-val print : ?align:align list -> header:string list -> string list list -> unit
-(** [render] followed by [print_string]. *)
+    Library code never writes to stdout (bplint rule R4): callers decide
+    where the rendered table goes. *)

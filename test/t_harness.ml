@@ -187,7 +187,13 @@ let test_experiments_deterministic () =
   Alcotest.(check string) "fig7 twice, identical" a b;
   let c = render_all (Exp_comm.fig6 ~scale:0.2 ()) in
   let d = render_all (Exp_comm.fig6 ~scale:0.2 ()) in
-  Alcotest.(check string) "fig6 twice, identical" c d
+  Alcotest.(check string) "fig6 twice, identical" c d;
+  (* fig7 exercises the paxos side and fig4 the PBFT local-commitment
+     path, so both protocols' replicas are covered: any order-dependent
+     container iteration reintroduced there shows up as a diff here. *)
+  let e = render_all (Exp_local.fig4 ~scale:0.2 ()) in
+  let f = render_all (Exp_local.fig4 ~scale:0.2 ()) in
+  Alcotest.(check string) "fig4 twice, identical" e f
 
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in

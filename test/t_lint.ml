@@ -1,0 +1,130 @@
+(* The bplint static-analysis pass (tools/bplint) — fixture modules under
+   tools/bplint/fixtures exercise each rule, and a final test scans the
+   real lib/ tree and requires zero findings, so reintroducing a hazard
+   (polymorphic compare on protocol state, a wall-clock read, a swallowed
+   exception on a verification path, ...) fails `dune runtest` even before
+   `dune build @lint` runs. *)
+
+(* The test binary runs in [_build/default/test]; the .cmt artifacts live
+   one level up, in the build context root. *)
+let root () =
+  match Sys.getenv_opt "BPLINT_ROOT" with
+  | Some r -> r
+  | None ->
+      (* `dune runtest` runs tests in _build/default/test; `dune exec`
+         runs them from the project root. Probe for the build context
+         that holds the fixture artifacts. *)
+      let cwd = Sys.getcwd () in
+      let candidates =
+        [ Filename.dirname cwd; Filename.concat cwd "_build/default"; cwd ]
+      in
+      let marker = "tools/bplint/fixtures/.bplint_fixtures.objs" in
+      let found =
+        List.find_opt
+          (fun c -> Sys.file_exists (Filename.concat c marker))
+          candidates
+      in
+      (match found with Some c -> c | None -> Filename.dirname cwd)
+
+(* Linking [bplint_fixtures] into this binary is what guarantees dune has
+   produced the fixture .cmt files before the test runs. *)
+let fixture name =
+  Filename.concat (root ())
+    (Filename.concat "tools/bplint/fixtures/.bplint_fixtures.objs/byte"
+       ("bplint_fixtures__" ^ name ^ ".cmt"))
+
+let count rule diags =
+  List.length (List.filter (fun (d : Lint.diagnostic) -> String.equal d.Lint.rule rule) diags)
+
+let show diags = String.concat "\n" (List.map Lint.to_string diags)
+
+let check_count ~msg rule expected diags =
+  Alcotest.(check int) (Printf.sprintf "%s [%s]\n%s" msg rule (show diags)) expected
+    (count rule diags)
+
+let test_r1_polycmp () =
+  let diags = Lint.lint_cmt ~rules:[ "R1-polycmp" ] (fixture "Fx_r1") in
+  check_count ~msg:"poly compare at record type" "R1-polycmp" 4 diags;
+  (* The two primitive uses (int =, int sort) must not be flagged. *)
+  Alcotest.(check int) "total findings" 4 (List.length diags)
+
+let test_r2_nondet () =
+  let diags = Lint.lint_cmt ~rules:[ "R2-nondet" ] (fixture "Fx_r2") in
+  check_count ~msg:"self_init + Sys.time + ~random:true" "R2-nondet" 3 diags
+
+let test_r2_hiter () =
+  let diags = Lint.lint_cmt ~rules:[ "R2-hiter" ] (fixture "Fx_r2") in
+  (* The fold is flagged; the iter carries [@bplint.allow "R2-hiter"] and
+     must be suppressed. *)
+  check_count ~msg:"order-dependent fold" "R2-hiter" 1 diags
+
+let test_r3 () =
+  let diags = Lint.lint_cmt ~rules:[ "R3-partial"; "R3-catchall" ] (fixture "Fx_r3") in
+  check_count ~msg:"Option.get + List.hd" "R3-partial" 2 diags;
+  (* The [with Failure _ ->] handler must not be flagged. *)
+  check_count ~msg:"catch-all try" "R3-catchall" 1 diags
+
+let test_r4 () =
+  let diags = Lint.lint_cmt ~rules:[ "R4-print"; "R4-mli" ] (fixture "Fx_r4") in
+  check_count ~msg:"print_endline + Printf.printf" "R4-print" 2 diags;
+  check_count ~msg:"module has no .mli" "R4-mli" 1 diags
+
+let test_clean_fixture () =
+  let diags = Lint.lint_cmt ~rules:Lint.all_rules (fixture "Fx_clean") in
+  Alcotest.(check int) (Printf.sprintf "clean module\n%s" (show diags)) 0
+    (List.length diags)
+
+let test_allowlist () =
+  (* A file-level allowlist entry excuses a whole module; the rule field
+     matches by prefix so "R1" covers "R1-polycmp". *)
+  let allowlist = Lint.allowlist_of_lines [ "# comment"; ""; "R1 fx_r1" ] in
+  let diags = Lint.lint_cmt ~allowlist ~rules:[ "R1-polycmp" ] (fixture "Fx_r1") in
+  Alcotest.(check int) "allowlisted module" 0 (List.length diags);
+  (* ...but an entry for a different path does not. *)
+  let other = Lint.allowlist_of_lines [ "R1 some/other/file.ml" ] in
+  let diags = Lint.lint_cmt ~allowlist:other ~rules:[ "R1-polycmp" ] (fixture "Fx_r1") in
+  Alcotest.(check int) "non-matching entry" 4 (List.length diags)
+
+let test_policy () =
+  (* Consensus code gets the full rule set; generic lib code a subset;
+     non-library code none. *)
+  let has rule source = List.mem rule (Lint.policy ~source) in
+  Alcotest.(check bool) "pbft gets R1" true (has "R1-polycmp" "lib/pbft/replica.ml");
+  Alcotest.(check bool) "harness exempt from R1" false
+    (has "R1-polycmp" "lib/harness/report.ml");
+  Alcotest.(check bool) "all lib gets R2-nondet" true
+    (has "R2-nondet" "lib/harness/report.ml");
+  Alcotest.(check bool) "all lib gets R4-print" true
+    (has "R4-print" "lib/util/tablefmt.ml");
+  Alcotest.(check int) "bin gets nothing" 0
+    (List.length (Lint.policy ~source:"bin/blockplane_cli.ml"))
+
+(* The teeth of the suite: the real library tree must be clean. Any
+   regression — a reintroduced Option.get, a new module without an .mli, a
+   Hashtbl.iter feeding protocol state — lands here as a test failure with
+   file:line diagnostics. *)
+let test_real_tree_clean () =
+  let allowlist =
+    Lint.load_allowlist
+      (Filename.concat (root ()) (Filename.concat "tools/bplint" "bplint.allow"))
+  in
+  let diags = Lint.scan ~allowlist ~root:(root ()) () in
+  Alcotest.(check int)
+    (Printf.sprintf "lib/ tree has findings:\n%s" (show diags))
+    0 (List.length diags)
+
+let suite =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "R1 polymorphic compare" `Quick test_r1_polycmp;
+        Alcotest.test_case "R2 nondeterminism" `Quick test_r2_nondet;
+        Alcotest.test_case "R2 hashtbl iteration + allow attribute" `Quick test_r2_hiter;
+        Alcotest.test_case "R3 partial functions and catch-alls" `Quick test_r3;
+        Alcotest.test_case "R4 printing and missing mli" `Quick test_r4;
+        Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+        Alcotest.test_case "allowlist suppression" `Quick test_allowlist;
+        Alcotest.test_case "per-directory policy" `Quick test_policy;
+        Alcotest.test_case "real lib tree is clean" `Quick test_real_tree_clean;
+      ] );
+  ]

@@ -1,0 +1,14 @@
+(* Fixture: clean module. Every rule enabled must produce zero findings. *)
+
+let equal_ints (a : int) (b : int) = a = b
+let compare_strings (a : string) (b : string) = String.compare a b
+let safe_head = function [] -> None | x :: _ -> Some x
+
+let sorted_bindings (h : (int, string) Hashtbl.t) =
+  (* Deterministic alternative to Hashtbl.fold: the table is only read
+     through find_opt here. *)
+  List.filter_map
+    (fun k -> Option.map (fun v -> (k, v)) (Hashtbl.find_opt h k))
+    [ 0; 1; 2; 3 ]
+
+let parse_int (s : string) = try Some (int_of_string s) with Failure _ -> None

@@ -1,0 +1,5 @@
+val equal_ints : int -> int -> bool
+val compare_strings : string -> string -> int
+val safe_head : 'a list -> 'a option
+val sorted_bindings : (int, string) Hashtbl.t -> (int * string) list
+val parse_int : string -> int option

@@ -1,0 +1,12 @@
+(* Fixture: R1-polycmp. Polymorphic comparison at non-primitive types. *)
+
+type pair = { left : int; right : string }
+
+let equal_pairs (a : pair) (b : pair) = a = b
+let order (a : pair) (b : pair) = compare a b
+let hash_pair (p : pair) = Hashtbl.hash p
+let member (p : pair) (l : pair list) = List.mem p l
+
+(* Primitive uses are fine and must NOT be flagged. *)
+let equal_ints (a : int) (b : int) = a = b
+let sort_ints (l : int list) = List.sort compare l

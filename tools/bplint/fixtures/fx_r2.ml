@@ -1,0 +1,13 @@
+(* Fixture: R2-nondet and R2-hiter. Nondeterminism escape hatches. *)
+
+let reseed () = Random.self_init ()
+let wall_clock () = Sys.time ()
+let randomized_table () : (int, int) Hashtbl.t = Hashtbl.create ~random:true 16
+
+(* Order-dependent iteration: flagged. *)
+let sum_values (h : (int, int) Hashtbl.t) =
+  Hashtbl.fold (fun _ v acc -> v + acc) h 0
+
+(* Same construct under a site-level allow: must NOT be flagged. *)
+let cancel_all (h : (int, unit -> unit) Hashtbl.t) =
+  (Hashtbl.iter (fun _ f -> f ()) h [@bplint.allow "R2-hiter"])

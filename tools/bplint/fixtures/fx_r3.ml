@@ -1,0 +1,10 @@
+(* Fixture: R3-partial and R3-catchall. Partial functions and swallowed
+   exceptions on paths that must distinguish "malformed input" from bugs. *)
+
+let force (o : int option) = Option.get o
+let first (l : int list) = List.hd l
+
+let swallow (s : string) = try int_of_string s with _ -> 0
+
+(* Matching a specific exception is fine and must NOT be flagged. *)
+let handled (s : string) = try int_of_string s with Failure _ -> 0

@@ -1,0 +1,4 @@
+(* Fixture: R4-print (and, having no .mli, R4-mli). *)
+
+let shout (msg : string) = print_endline msg
+let report_count (n : int) = Printf.printf "count=%d\n" n

@@ -1,0 +1,525 @@
+type diagnostic = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let all_rules =
+  [
+    "R1-polycmp";
+    "R2-nondet";
+    "R2-hiter";
+    "R3-partial";
+    "R3-catchall";
+    "R4-print";
+    "R4-mli";
+  ]
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+(* ---------- allowlist ---------- *)
+
+type allowlist = (string * string) list (* rule prefix, path substring *)
+
+let empty_allowlist = []
+
+let contains_substring ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  if nl = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to hl - nl do
+      if (not !found) && String.equal (String.sub hay i nl) needle then
+        found := true
+    done;
+    !found
+  end
+
+let allowlist_of_lines lines =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if String.length line = 0 || line.[0] = '#' then None
+      else
+        match String.split_on_char ' ' line with
+        | rule :: path :: _ when path <> "" -> Some (rule, path)
+        | _ -> None)
+    lines
+
+let load_allowlist path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    allowlist_of_lines (List.rev !lines)
+  end
+
+let rule_matches ~prefix rule = String.starts_with ~prefix rule
+
+let allowlisted allowlist ~rule ~file =
+  List.exists
+    (fun (p, sub) -> rule_matches ~prefix:p rule && contains_substring ~needle:sub file)
+    allowlist
+
+(* ---------- policy ---------- *)
+
+let normalize_source source =
+  (* dune records sources relative to the build context root, but be
+     defensive about "./" prefixes and absolute paths: anchor at the first
+     "lib" path segment when there is one. *)
+  let parts = String.split_on_char '/' source in
+  let rec from_lib = function
+    | "lib" :: _ as rest -> String.concat "/" rest
+    | _ :: tl -> from_lib tl
+    | [] -> source
+  in
+  from_lib parts
+
+let lib_dir_of source =
+  match String.split_on_char '/' (normalize_source source) with
+  | "lib" :: dir :: _ :: _ -> Some dir
+  | _ -> None
+
+let policy ~source =
+  match lib_dir_of source with
+  | None -> []
+  | Some dir ->
+      let in_dirs dirs = List.mem dir dirs in
+      List.concat
+        [
+          [ "R2-nondet"; "R4-print"; "R4-mli" ];
+          (if in_dirs [ "sim"; "pbft"; "paxos"; "net"; "codec" ] then
+             [ "R1-polycmp" ]
+           else []);
+          (if in_dirs [ "pbft"; "paxos"; "sim"; "core" ] then [ "R2-hiter" ]
+           else []);
+          (if in_dirs [ "pbft"; "paxos"; "crypto"; "codec"; "core" ] then
+             [ "R3-partial"; "R3-catchall" ]
+           else []);
+        ]
+
+(* ---------- AST checks ---------- *)
+
+type ctx = {
+  source : string;
+  rules : string list;
+  allowlist : allowlist;
+  mutable allow_stack : string list;
+  mutable diags : diagnostic list;
+}
+
+let report ctx ~rule ~(loc : Location.t) message =
+  let site_allowed =
+    List.exists (fun prefix -> rule_matches ~prefix rule) ctx.allow_stack
+  in
+  if
+    List.mem rule ctx.rules
+    && (not site_allowed)
+    && not (allowlisted ctx.allowlist ~rule ~file:ctx.source)
+  then begin
+    let p = loc.Location.loc_start in
+    ctx.diags <-
+      {
+        rule;
+        file = ctx.source;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        message;
+      }
+      :: ctx.diags
+  end
+
+let allows_of_attributes (attrs : Parsetree.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if not (String.equal a.Parsetree.attr_name.Location.txt "bplint.allow")
+      then []
+      else
+        match a.Parsetree.attr_payload with
+        | Parsetree.PStr
+            [
+              {
+                Parsetree.pstr_desc =
+                  Parsetree.Pstr_eval
+                    ( {
+                        Parsetree.pexp_desc =
+                          Parsetree.Pexp_constant
+                            (Parsetree.Pconst_string (s, _, _));
+                        _;
+                      },
+                      _ );
+                _;
+              };
+            ] ->
+            String.split_on_char ' ' s
+            |> List.concat_map (String.split_on_char ',')
+            |> List.filter (fun r -> r <> "")
+        | _ -> [])
+    attrs
+
+let strip_stdlib name =
+  let prefix = "Stdlib." in
+  if String.starts_with ~prefix name then
+    String.sub name (String.length prefix) (String.length name - String.length prefix)
+  else name
+
+let primitive_paths =
+  Predef.
+    [
+      path_int;
+      path_char;
+      path_string;
+      path_bytes;
+      path_float;
+      path_bool;
+      path_unit;
+      path_int32;
+      path_int64;
+      path_nativeint;
+    ]
+
+let expand_type env ty =
+  (* cmt files store environments as summaries; rebuild enough of the env
+     to expand abbreviations like [Int_map.key] or [Time.t] down to their
+     definitions. Fall back to the unexpanded type when a cmi is missing. *)
+  let env = try Envaux.env_of_only_summary env with _ -> env in
+  try Ctype.expand_head env ty with _ -> ty
+
+let rec type_is_primitive env ty =
+  match Types.get_desc (expand_type env ty) with
+  | Types.Tconstr (p, [], _) -> List.exists (Path.same p) primitive_paths
+  | Types.Tvar _ | Types.Tunivar _ ->
+      (* A still-polymorphic use inside a generic helper: nothing concrete
+         to complain about at this site. *)
+      true
+  | Types.Tpoly (t, _) -> type_is_primitive env t
+  | _ -> false
+
+let first_arrow_arg ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, t1, _, _) -> Some t1
+  | Types.Tpoly (t, _) -> (
+      match Types.get_desc t with
+      | Types.Tarrow (_, t1, _, _) -> Some t1
+      | _ -> None)
+  | _ -> None
+
+let print_type ty =
+  try Format.asprintf "%a" Printtyp.type_expr ty with _ -> "<type>"
+
+(* All rule function lists use fully-qualified paths: a repo module's own
+   monomorphic [compare]/[equal] resolves to a local ident and must not
+   match. Unqualified uses of stdlib names resolve to [Stdlib.*] paths in
+   the typedtree. *)
+
+(* Functions whose semantics depend on polymorphic structural comparison
+   (directly, or internally for the List.* family). *)
+let poly_compare_fns =
+  [
+    "Stdlib.=";
+    "Stdlib.<>";
+    "Stdlib.<";
+    "Stdlib.>";
+    "Stdlib.<=";
+    "Stdlib.>=";
+    "Stdlib.compare";
+    "Stdlib.min";
+    "Stdlib.max";
+    "Stdlib.Hashtbl.hash";
+    "Stdlib.Hashtbl.seeded_hash";
+    "Stdlib.List.mem";
+    "Stdlib.List.assoc";
+    "Stdlib.List.assoc_opt";
+    "Stdlib.List.mem_assoc";
+    "Stdlib.List.remove_assoc";
+  ]
+
+let nondet_fns =
+  [
+    "Stdlib.Sys.time";
+    "Unix.time";
+    "Unix.gettimeofday";
+    "Stdlib.Hashtbl.randomize";
+  ]
+
+let hiter_fns = [ "Stdlib.Hashtbl.iter"; "Stdlib.Hashtbl.fold" ]
+
+let partial_fns =
+  [ "Stdlib.Option.get"; "Stdlib.List.hd"; "Stdlib.List.tl"; "Stdlib.List.nth" ]
+
+let print_fns =
+  [
+    "Stdlib.print_endline";
+    "Stdlib.print_string";
+    "Stdlib.print_newline";
+    "Stdlib.print_char";
+    "Stdlib.print_int";
+    "Stdlib.print_float";
+    "Stdlib.print_bytes";
+    "Stdlib.prerr_endline";
+    "Stdlib.prerr_string";
+    "Stdlib.prerr_newline";
+    "Stdlib.Printf.printf";
+    "Stdlib.Printf.eprintf";
+    "Stdlib.Format.printf";
+    "Stdlib.Format.eprintf";
+    "Stdlib.Format.print_string";
+    "Stdlib.Format.print_newline";
+  ]
+
+let check_ident ctx (e : Typedtree.expression) path =
+  let qual = Path.name path in
+  let name = strip_stdlib qual in
+  let loc = e.Typedtree.exp_loc in
+  if List.mem qual poly_compare_fns then begin
+    match first_arrow_arg e.Typedtree.exp_type with
+    | Some t1 when not (type_is_primitive e.Typedtree.exp_env t1) ->
+        report ctx ~rule:"R1-polycmp" ~loc
+          (Printf.sprintf
+             "polymorphic %s at non-primitive type %s; use a monomorphic \
+              comparison (String.equal, Int.compare, a dedicated equal/compare, \
+              or restructure with a match)"
+             name (print_type t1))
+    | _ -> ()
+  end;
+  if
+    List.mem qual nondet_fns
+    || String.starts_with ~prefix:"Stdlib.Random." qual
+  then
+    report ctx ~rule:"R2-nondet" ~loc
+      (Printf.sprintf
+         "%s is a nondeterminism escape hatch; replicas and experiments must \
+          draw time from Bp_sim.Time/Engine and randomness from Bp_util.Rng"
+         name);
+  if List.mem qual hiter_fns then
+    report ctx ~rule:"R2-hiter" ~loc
+      (Printf.sprintf
+         "%s iterates in hash-bucket order, which depends on insertion \
+          history; protocol state must not depend on it (fold to a sorted \
+          list, use a Map, or track the aggregate incrementally)"
+         name);
+  if List.mem qual partial_fns then
+    report ctx ~rule:"R3-partial" ~loc
+      (Printf.sprintf
+         "%s is partial; on a consensus/verification path use an explicit \
+          match (raising a named invariant exception when impossible)"
+         name)
+  else if List.mem qual print_fns then
+    report ctx ~rule:"R4-print" ~loc
+      (Printf.sprintf
+         "library code must not write to the console (%s); return strings or \
+          log through Logs"
+         name)
+
+let rec pattern_catches_all : type k. k Typedtree.general_pattern -> bool =
+ fun p ->
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_any -> true
+  | Typedtree.Tpat_var _ -> true
+  | Typedtree.Tpat_alias (inner, _, _) -> pattern_catches_all inner
+  | Typedtree.Tpat_or (a, b, _) -> pattern_catches_all a || pattern_catches_all b
+  | _ -> false
+
+let rec unwrap_option_some (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_construct (_, { Types.cstr_name = "Some"; _ }, [ inner ]) ->
+      unwrap_option_some inner
+  | _ -> e
+
+let check_expr ctx (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (path, _, _) -> check_ident ctx e path
+  | Typedtree.Texp_apply (fn, args) -> (
+      match fn.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (path, _, _)
+        when String.equal (Path.name path) "Stdlib.Hashtbl.create" ->
+          let randomized =
+            List.exists
+              (fun (label, arg) ->
+                match (label, arg) with
+                | (Asttypes.Labelled "random" | Asttypes.Optional "random"),
+                  Some arg -> (
+                    (* An omitted ?random is elaborated as a None argument;
+                       only an explicit non-false value randomizes. *)
+                    match (unwrap_option_some arg).Typedtree.exp_desc with
+                    | Typedtree.Texp_construct
+                        (_, { Types.cstr_name = "false" | "None"; _ }, _) ->
+                        false
+                    | _ -> true)
+                | _ -> false)
+              args
+          in
+          if randomized then
+            report ctx ~rule:"R2-nondet" ~loc:e.Typedtree.exp_loc
+              "Hashtbl.create ~random:true makes iteration order differ \
+               across runs; deterministic replay forbids it"
+      | _ -> ())
+  | Typedtree.Texp_try (_, cases) ->
+      List.iter
+        (fun (c : Typedtree.value Typedtree.case) ->
+          if pattern_catches_all c.Typedtree.c_lhs then
+            report ctx ~rule:"R3-catchall"
+              ~loc:c.Typedtree.c_lhs.Typedtree.pat_loc
+              "catch-all exception handler: a swallowed programming error \
+               reads as Byzantine input; match the specific exceptions the \
+               guarded code can raise")
+        cases
+  | _ -> ()
+
+let make_iterator ctx =
+  let super = Tast_iterator.default_iterator in
+  let with_allows attrs k =
+    let pushed = allows_of_attributes attrs in
+    let saved = ctx.allow_stack in
+    ctx.allow_stack <- pushed @ saved;
+    k ();
+    ctx.allow_stack <- saved
+  in
+  let expr sub (e : Typedtree.expression) =
+    with_allows e.Typedtree.exp_attributes (fun () ->
+        check_expr ctx e;
+        super.Tast_iterator.expr sub e)
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    with_allows vb.Typedtree.vb_attributes (fun () ->
+        super.Tast_iterator.value_binding sub vb)
+  in
+  let structure_item sub (si : Typedtree.structure_item) =
+    let attrs =
+      match si.Typedtree.str_desc with
+      | Typedtree.Tstr_attribute a -> [ a ]
+      | _ -> []
+    in
+    with_allows attrs (fun () -> super.Tast_iterator.structure_item sub si)
+  in
+  { super with Tast_iterator.expr; value_binding; structure_item }
+
+(* ---------- cmt driving ---------- *)
+
+let generated_source = function
+  | None -> true
+  | Some s -> Filename.check_suffix s ".ml-gen"
+
+let ends_with ~suffix s =
+  let sl = String.length suffix and l = String.length s in
+  l >= sl && String.equal (String.sub s (l - sl) sl) suffix
+
+let init_cmt_env ~cmt_path (cmt : Cmt_format.cmt_infos) =
+  (* Point the compiler's load path at the cmi directories recorded when
+     this cmt was built, so Envaux can reconstruct environments. dune
+     records the build dir as the sanitized placeholder "/workspace_root"
+     and library dirs relative to the build-context root, so recover that
+     root from the cmt's own path: it ends with one of the relative
+     loadpath entries (its own .objs/byte directory). *)
+  let dir = Filename.dirname cmt_path in
+  let rels =
+    List.filter (fun p -> p <> "" && Filename.is_relative p)
+      cmt.Cmt_format.cmt_loadpath
+  in
+  let root =
+    match List.find_opt (fun e -> ends_with ~suffix:e dir) rels with
+    | Some e -> String.sub dir 0 (String.length dir - String.length e)
+    | None -> ""
+  in
+  let absolute p =
+    if Filename.is_relative p then root ^ p else p
+  in
+  Load_path.init ~auto_include:Load_path.no_auto_include
+    (List.map absolute rels
+    @ List.filter (fun p -> not (Filename.is_relative p))
+        cmt.Cmt_format.cmt_loadpath);
+  Env.reset_cache ();
+  Envaux.reset_cache ()
+
+let lint_cmt ?(allowlist = empty_allowlist) ~rules path =
+  let cmt = Cmt_format.read_cmt path in
+  init_cmt_env ~cmt_path:path cmt;
+  if generated_source cmt.Cmt_format.cmt_sourcefile then []
+  else begin
+    let source =
+      match cmt.Cmt_format.cmt_sourcefile with
+      | Some s -> normalize_source s
+      | None -> path
+    in
+    let ctx = { source; rules; allowlist; allow_stack = []; diags = [] } in
+    (if
+       List.mem "R4-mli" rules
+       && (not (allowlisted allowlist ~rule:"R4-mli" ~file:source))
+       && Filename.check_suffix source ".ml"
+     then
+       let cmti = Filename.remove_extension path ^ ".cmti" in
+       if not (Sys.file_exists cmti) then
+         ctx.diags <-
+           {
+             rule = "R4-mli";
+             file = source;
+             line = 1;
+             col = 0;
+             message =
+               "library module has no .mli; every lib/ module must declare \
+                its interface";
+           }
+           :: ctx.diags);
+    (match cmt.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation str ->
+        let iter = make_iterator ctx in
+        iter.Tast_iterator.structure iter str
+    | _ -> ());
+    List.rev ctx.diags
+  end
+
+let scan ?(allowlist = empty_allowlist) ~root () =
+  let cmts = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+        Array.sort String.compare entries;
+        Array.iter
+          (fun entry ->
+            let full = Filename.concat dir entry in
+            if Sys.is_directory full then begin
+              if
+                not
+                  (List.mem entry [ "_build"; ".git"; "node_modules"; "_opam" ])
+              then walk full
+            end
+            else if Filename.check_suffix entry ".cmt" then
+              cmts := full :: !cmts)
+          entries
+    | exception Sys_error _ -> ()
+  in
+  let lib = Filename.concat root "lib" in
+  if Sys.file_exists lib && Sys.is_directory lib then walk lib;
+  let diags =
+    List.concat_map
+      (fun path ->
+        match Cmt_format.read_cmt path with
+        | exception _ -> []
+        | cmt ->
+            if generated_source cmt.Cmt_format.cmt_sourcefile then []
+            else begin
+              let source =
+                match cmt.Cmt_format.cmt_sourcefile with
+                | Some s -> normalize_source s
+                | None -> path
+              in
+              let rules = policy ~source in
+              if rules = [] then [] else lint_cmt ~allowlist ~rules path
+            end)
+      (List.sort String.compare !cmts)
+  in
+  List.sort
+    (fun a b ->
+      match String.compare a.file b.file with
+      | 0 -> Stdlib.compare (a.line, a.col, a.rule) (b.line, b.col, b.rule)
+      | c -> c)
+    diags

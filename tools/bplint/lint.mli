@@ -1,0 +1,70 @@
+(** [bplint]: repo-specific static analysis over the typed [.cmt] ASTs that
+    dune produces for every library.
+
+    Blockplane's correctness argument rests on deterministic, replayable
+    state-machine replication: every replica must make the same decision
+    from the same log, and simulator experiments must be byte-reproducible.
+    These rules machine-check the hazards that previously had to be caught
+    by hand in review:
+
+    - [R1-polycmp]: polymorphic [compare]/[=]/[Hashtbl.hash] (and the
+      [List.mem]/[List.assoc] family, which call them internally) applied
+      at a non-primitive type. Slow on the hot path, and order/structure
+      sensitive in ways monomorphic comparisons are not.
+    - [R2-nondet]: nondeterminism escape hatches anywhere in [lib/]:
+      [Random.*], [Sys.time], [Unix.gettimeofday], [Hashtbl.randomize],
+      [Hashtbl.create ~random:true].
+    - [R2-hiter]: order-dependent [Hashtbl.iter]/[Hashtbl.fold] in protocol
+      code, where iteration order can leak into protocol state.
+    - [R3-partial]: partial functions ([Option.get], [List.hd], [List.tl],
+      [List.nth]) on verification/consensus paths.
+    - [R3-catchall]: [try ... with _ ->] catch-alls that turn programming
+      errors into silently-accepted "Byzantine" input.
+    - [R4-print]: direct [print_*]/[Printf.printf]/[Format.printf] output
+      from library code (libraries must use [Logs]).
+    - [R4-mli]: a library module compiled without an [.mli].
+
+    Suppression: a site can carry [[@bplint.allow "RULE ..."]] (on the
+    expression or enclosing [let]); whole files can be excused in an
+    allowlist file of [RULE path-substring] lines. *)
+
+type diagnostic = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+val all_rules : string list
+(** Every rule id known to the linter. *)
+
+val to_string : diagnostic -> string
+(** ["file:line:col: [rule] message"] — one line per finding. *)
+
+type allowlist
+
+val empty_allowlist : allowlist
+
+val allowlist_of_lines : string list -> allowlist
+(** Each non-empty, non-[#] line is [RULE path-substring] (trailing words
+    are a free-form comment). [RULE] matches by prefix, so [R2] excuses
+    both [R2-nondet] and [R2-hiter]. *)
+
+val load_allowlist : string -> allowlist
+(** Read an allowlist file from disk. Missing file = empty allowlist. *)
+
+val policy : source:string -> string list
+(** The repo policy: which rules apply to a source path (as recorded in the
+    [.cmt], e.g. ["lib/pbft/replica.ml"]). Non-[lib/] paths get no rules. *)
+
+val lint_cmt :
+  ?allowlist:allowlist -> rules:string list -> string -> diagnostic list
+(** [lint_cmt ~rules path] reads one [.cmt] file and returns the findings
+    for the requested rules, already filtered through [allowlist] and any
+    [[@bplint.allow]] attributes. Generated modules (dune's [*.ml-gen]
+    alias modules) yield no findings. *)
+
+val scan : ?allowlist:allowlist -> root:string -> unit -> diagnostic list
+(** Walk [root]/lib for every [.cmt] dune produced, apply [policy] to each,
+    and return all findings sorted by file/line. *)

@@ -1,0 +1,57 @@
+(* bplint CLI.
+
+   Modes:
+     main.exe --root DIR [--allowlist FILE]
+       Scan DIR/lib for every .cmt dune produced, apply the repo policy
+       (Lint.policy) per source file, print findings, exit 1 if any.
+
+     main.exe --rules R1-polycmp,R3-partial [--allowlist FILE] a.cmt b.cmt
+       Lint explicit .cmt files with an explicit rule set (used by tests
+       and for one-off investigation). *)
+
+let usage () =
+  prerr_endline
+    "usage: bplint --root DIR [--allowlist FILE]\n\
+    \       bplint --rules R1,R2,... [--allowlist FILE] FILE.cmt...";
+  exit 2
+
+let () =
+  let root = ref None in
+  let allowlist_file = ref None in
+  let rules = ref None in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+        root := Some dir;
+        parse rest
+    | "--allowlist" :: file :: rest ->
+        allowlist_file := Some file;
+        parse rest
+    | "--rules" :: spec :: rest ->
+        rules := Some (String.split_on_char ',' spec);
+        parse rest
+    | ("--help" | "-help") :: _ -> usage ()
+    | arg :: rest ->
+        if String.length arg > 0 && arg.[0] = '-' then usage ();
+        files := arg :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let allowlist =
+    match !allowlist_file with
+    | None -> Lint.empty_allowlist
+    | Some f -> Lint.load_allowlist f
+  in
+  let diags =
+    match (!root, !rules, List.rev !files) with
+    | Some root, None, [] -> Lint.scan ~allowlist ~root ()
+    | None, Some rules, (_ :: _ as files) ->
+        List.concat_map (Lint.lint_cmt ~allowlist ~rules) files
+    | _ -> usage ()
+  in
+  List.iter (fun d -> prerr_endline (Lint.to_string d)) diags;
+  if diags <> [] then begin
+    Printf.eprintf "bplint: %d finding(s)\n" (List.length diags);
+    exit 1
+  end
