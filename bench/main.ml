@@ -12,8 +12,16 @@
      dune exec bench/main.exe                 # everything, default scale
      dune exec bench/main.exe -- fig7         # one experiment
      dune exec bench/main.exe -- micro        # only the micro-benchmarks
-     dune exec bench/main.exe -- --json out.json   # also dump bp-bench/1 JSON
+     dune exec bench/main.exe -- --json out.json   # also dump bp-bench/2 JSON
+     dune exec bench/main.exe -- --jobs 4     # fan experiment tasks over 4 domains
+     dune exec bench/main.exe -- -j 1         # strictly sequential (reference)
+     dune exec bench/main.exe -- --json out.json --baseline seq.json
+                                              # also record speedup_vs_seq
      BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep
+
+   --jobs defaults to Domain.recommended_domain_count. Parallel runs are
+   bit-identical to -j 1 in every report row (each sweep point is its own
+   seeded simulation; results merge by task index) — only wall times move.
 
    The --json report (schema documented in EXPERIMENTS.md, "Performance
    methodology") is the perf-regression record: one BENCH_PRn.json is
@@ -29,15 +37,17 @@ let scale =
   | Some s -> ( try float_of_string s with _ -> 1.0)
   | None -> 1.0
 
-let run_experiment e =
+let run_experiment ?pool e =
   Printf.printf "\n";
   let t0 = Unix.gettimeofday () in
-  List.iter (fun r -> print_string (Bp_harness.Report.render r)) (e.Bp_harness.Experiments.run ~scale);
+  List.iter
+    (fun r -> print_string (Bp_harness.Report.render r))
+    (Bp_harness.Experiments.run ?pool e ~scale);
   let wall = Unix.gettimeofday () -. t0 in
   Printf.printf "   (regenerated in %.1fs wall time)\n%!" wall;
   (e.Bp_harness.Experiments.id, wall)
 
-let run_paper_benches ids =
+let run_paper_benches ?pool ~jobs ids =
   let known = List.map (fun e -> e.Bp_harness.Experiments.id) Bp_harness.Experiments.all in
   (match List.filter (fun id -> not (List.mem id known)) ids with
   | [] -> ()
@@ -49,11 +59,12 @@ let run_paper_benches ids =
   Printf.printf "=====================================================\n";
   Printf.printf "Blockplane (ICDE 2019) - evaluation reproduction\n";
   Printf.printf "scale=%.2f (set BP_BENCH_SCALE to adjust)\n" scale;
+  Printf.printf "jobs=%d (--jobs N; results are identical at any N)\n" jobs;
   Printf.printf "=====================================================\n";
   List.filter_map
     (fun e ->
       if ids = [] || List.mem e.Bp_harness.Experiments.id ids then
-        Some (run_experiment e)
+        Some (run_experiment ?pool e)
       else None)
     Bp_harness.Experiments.all
 
@@ -64,6 +75,8 @@ let micro_tests () =
   let rng = Bp_util.Rng.create 7L in
   let payload_1k = String.init 1024 (fun i -> Char.chr (i land 0xff)) in
   let payload_64k = String.init 65536 (fun i -> Char.chr (i land 0xff)) in
+  let payload_1m = String.init (1 lsl 20) (fun i -> Char.chr (i land 0xff)) in
+  let seal_scratch = Bp_codec.Wire.encoder ~size_hint:((1 lsl 20) + 64) () in
   let lamport_sk, lamport_pk = Lamport.keygen rng in
   let lamport_sig = Lamport.sign lamport_sk "msg" in
   let record =
@@ -94,6 +107,25 @@ let micro_tests () =
       (Staged.stage (fun () -> Hmac.sha256 ~key:"benchkey" payload_1k));
     Test.make ~name:"crc32 (64 KiB)"
       (Staged.stage (fun () -> Crc32.string payload_64k));
+    Test.make ~name:"crc32 (1 MiB)"
+      (Staged.stage (fun () -> Crc32.string payload_1m));
+    Test.make ~name:"frame seal (1 MiB)"
+      (Staged.stage (fun () -> Bp_codec.Frame.seal payload_1m));
+    (* The transport send path, before and after PR 3: encode the payload
+       to a string and seal it (two big allocations, payload moved three
+       times) vs assemble the frame directly in a reused scratch encoder
+       (one allocation, payload moved twice). The bare "frame seal" row
+       above is not the old send path — it starts from an already
+       materialized payload string. *)
+    Test.make ~name:"wire encode + frame seal (1 MiB)"
+      (Staged.stage (fun () ->
+           Bp_codec.Frame.seal
+             (Bp_codec.Wire.encode_with seal_scratch (fun e ->
+                  Bp_codec.Wire.fixed e payload_1m))));
+    Test.make ~name:"frame seal_with (1 MiB)"
+      (Staged.stage (fun () ->
+           Bp_codec.Frame.seal_with seal_scratch (fun e ->
+               Bp_codec.Wire.fixed e payload_1m)));
     Test.make ~name:"merkle root (64 leaves)"
       (Staged.stage
          (let leaves = List.init 64 string_of_int in
@@ -165,7 +197,7 @@ let run_micro () =
   Printf.printf "%!";
   List.rev !rows
 
-(* ---------- JSON report (schema bp-bench/1) ---------- *)
+(* ---------- JSON report (schema bp-bench/2) ---------- *)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -183,18 +215,50 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path ~experiments ~micro =
+(* A baseline is a prior --json report from a sequential (-j 1) run. We
+   only need (id, wall_s) pairs, and every experiment line of both
+   bp-bench/1 and bp-bench/2 reports starts with exactly those two
+   fields, so a line-oriented scan is enough — no JSON parser needed. *)
+let read_baseline path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "bench: cannot read baseline: %s\n" msg;
+      exit 2
+  in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       match
+         Scanf.sscanf line "{ \"id\": %S, \"wall_s\": %f" (fun id w -> (id, w))
+       with
+       | entry -> entries := entry :: !entries
+       | exception _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+let write_json path ~jobs ~baseline ~experiments ~micro =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"bp-bench/1\",\n";
+  p "  \"schema\": \"bp-bench/2\",\n";
   p "  \"scale\": %g,\n" scale;
+  p "  \"jobs\": %d,\n" jobs;
   p "  \"experiments\": [";
   List.iteri
     (fun i (id, wall) ->
-      p "%s\n    { \"id\": \"%s\", \"wall_s\": %.3f }"
-        (if i = 0 then "" else ",")
-        (json_escape id) wall)
+      p "%s\n    { \"id\": \"%s\", \"wall_s\": %.3f" (if i = 0 then "" else ",")
+        (json_escape id) wall;
+      (* Sub-millisecond walls (table1 just prints a constant matrix)
+         would make the ratio pure noise; omit the field there. *)
+      (match List.assoc_opt id baseline with
+      | Some seq_wall when wall > 0.001 && seq_wall > 0.001 ->
+          p ", \"speedup_vs_seq\": %.2f" (seq_wall /. wall)
+      | _ -> ());
+      p " }")
     experiments;
   p "\n  ],\n";
   p "  \"micro\": [";
@@ -209,32 +273,55 @@ let write_json path ~experiments ~micro =
   close_out oc
 
 let () =
-  let rec split_json = function
-    | "--json" :: path :: rest ->
-        let others, _ = split_json rest in
-        (others, Some path)
-    | [ "--json" ] ->
-        prerr_endline "bench: --json requires an output path";
-        exit 2
-    | a :: rest ->
-        let others, json = split_json rest in
-        (a :: others, json)
-    | [] -> ([], None)
+  let json_path = ref None in
+  let baseline_path = ref None in
+  let jobs = ref (Bp_parallel.Pool.default_jobs ()) in
+  let missing flag =
+    Printf.eprintf "bench: %s requires an argument\n" flag;
+    exit 2
   in
-  let args, json_path = split_json (List.tl (Array.to_list Sys.argv)) in
+  let rec parse = function
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | [ "--json" ] -> missing "--json"
+    | "--baseline" :: path :: rest ->
+        baseline_path := Some path;
+        parse rest
+    | [ "--baseline" ] -> missing "--baseline"
+    | ("--jobs" | "-j") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ ->
+            Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" n;
+            exit 2)
+    | [ ("--jobs" | "-j") ] -> missing "--jobs"
+    | a :: rest -> a :: parse rest
+    | [] -> []
+  in
+  let args = parse (List.tl (Array.to_list Sys.argv)) in
+  let jobs = !jobs in
+  let pool = if jobs > 1 then Some (Bp_parallel.Pool.create ~jobs) else None in
+  let finally () = Option.iter Bp_parallel.Pool.shutdown pool in
+  Fun.protect ~finally @@ fun () ->
   let experiments, micro =
     match args with
     | [ "micro" ] -> ([], run_micro ())
     | [] ->
-        let experiments = run_paper_benches [] in
+        let experiments = run_paper_benches ?pool ~jobs [] in
         (experiments, run_micro ())
-    | ids -> (run_paper_benches ids, [])
+    | ids -> (run_paper_benches ?pool ~jobs ids, [])
   in
-  match json_path with
+  match !json_path with
   | None -> ()
   | Some path -> (
+      let baseline =
+        match !baseline_path with None -> [] | Some p -> read_baseline p
+      in
       try
-        write_json path ~experiments ~micro;
+        write_json path ~jobs ~baseline ~experiments ~micro;
         if path <> "/dev/null" then Printf.printf "\nwrote %s\n%!" path
       with Sys_error msg ->
         Printf.eprintf "bench: cannot write JSON report: %s\n" msg;

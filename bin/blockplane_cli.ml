@@ -16,6 +16,27 @@ let scale_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
+let jobs_arg =
+  let doc =
+    "Number of worker domains to fan independent simulation tasks across. \
+     Results are bit-identical at any job count; only wall time changes. \
+     Defaults to the number of cores; 1 runs everything inline."
+  in
+  Arg.(
+    value
+    & opt int (Bp_parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Build a pool for [jobs], run [f] and always shut the pool down, so CLI
+   exits never leave worker domains blocked on the work queue. *)
+let with_pool jobs f =
+  if jobs < 1 then (
+    Printf.eprintf "blockplane-cli: --jobs must be at least 1, got %d\n" jobs;
+    exit 1);
+  let pool = if jobs > 1 then Some (Bp_parallel.Pool.create ~jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Bp_parallel.Pool.shutdown pool)
+    (fun () -> f pool)
+
 let list_cmd =
   let run () =
     List.iter
@@ -27,14 +48,17 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available experiments")
     Term.(const run $ const ())
 
-let run_experiment id scale verbose =
+let run_experiment id scale jobs verbose =
   setup_logs verbose;
   match Bp_harness.Experiments.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `blockplane-cli list`\n" id;
       exit 1
   | Some e ->
-      List.iter (fun r -> print_string (Bp_harness.Report.render r)) (e.Bp_harness.Experiments.run ~scale)
+      with_pool jobs (fun pool ->
+          List.iter
+            (fun r -> print_string (Bp_harness.Report.render r))
+            (Bp_harness.Experiments.run ?pool e ~scale))
 
 let run_cmd =
   let id_arg =
@@ -45,19 +69,22 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured table")
-    Term.(const run_experiment $ id_arg $ scale_arg $ verbose_arg)
+    Term.(const run_experiment $ id_arg $ scale_arg $ jobs_arg $ verbose_arg)
 
 let all_cmd =
-  let run scale verbose =
+  let run scale jobs verbose =
     setup_logs verbose;
-    List.iter
-      (fun e ->
-        List.iter (fun r -> print_string (Bp_harness.Report.render r)) (e.Bp_harness.Experiments.run ~scale))
-      Bp_harness.Experiments.all
+    with_pool jobs (fun pool ->
+        List.iter
+          (fun e ->
+            List.iter
+              (fun r -> print_string (Bp_harness.Report.render r))
+              (Bp_harness.Experiments.run ?pool e ~scale))
+          Bp_harness.Experiments.all)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every table and figure of the evaluation")
-    Term.(const run $ scale_arg $ verbose_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ verbose_arg)
 
 let () =
   let info =

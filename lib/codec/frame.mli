@@ -12,6 +12,14 @@ val overhead : int
 val seal : string -> string
 (** Wrap a payload into a frame. *)
 
+val seal_with : Wire.encoder -> (Wire.encoder -> unit) -> string
+(** [seal_with enc write] builds a frame by running [write] directly
+    after the header inside [enc] (resetting it first), then patching the
+    length and checksum in place — equivalent to
+    [seal (Wire.encode write)] but with a single exactly-sized string
+    allocation and no intermediate payload copy. [enc] is typically a
+    retained scratch encoder; its contents are clobbered. *)
+
 val unseal : string -> (string, [ `Corrupt | `Malformed ]) result
 (** Recover the payload. [`Corrupt] means the checksum failed (in-flight
     bit-flips); [`Malformed] means the framing structure itself is broken. *)

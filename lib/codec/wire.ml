@@ -11,6 +11,7 @@ let encoder ?(size_hint = 128) () =
 let reset e = e.len <- 0
 let length e = e.len
 let to_string e = Bytes.sub_string e.buf 0 e.len
+let unsafe_bytes e = e.buf
 
 let grow e needed =
   let cap = ref (2 * Bytes.length e.buf) in

@@ -25,6 +25,12 @@ val length : encoder -> int
 
 val to_string : encoder -> string
 
+val unsafe_bytes : encoder -> bytes
+(** The encoder's backing buffer, of which only the first {!length} bytes
+    are meaningful. Any further write may grow (reallocate) the encoder
+    and detach the returned value, so fetch it after the last write. Used
+    by {!Frame.seal_with} to patch header words in place. *)
+
 val varint : encoder -> int -> unit
 (** Non-negative varint. @raise Invalid_argument on negative input. *)
 

@@ -3,7 +3,9 @@ open Blockplane
 
 (* ---------- read strategies (§VI-A) ---------- *)
 
-let reads ?(scale = 1.0) () =
+(* Internally sequential (three strategies share one populated world),
+   so the plan is a single task. *)
+let reads_reports ~scale =
   let world = Runner.fresh_world ~seed:6100L () in
   let engine = world.Runner.engine in
   let api = Deployment.api world.Runner.dep 0 in
@@ -51,11 +53,14 @@ let reads ?(scale = 1.0) () =
     };
   ]
 
+let reads_plan ~scale =
+  Runner.Plan { tasks = [ (fun () -> reads_reports ~scale) ]; merge = List.concat }
+
+let reads ?(scale = 1.0) () = Runner.run_plan (reads_plan ~scale)
+
 (* ---------- batching / group commit (§VI-C) ---------- *)
 
-let batching ?(scale = 1.0) () =
-  let burst = Runner.scaled scale 50 in
-  let run_burst ~batch_max ~seed =
+let run_burst ~burst ~batch_max ~seed =
     let engine = Engine.create ~seed () in
     let net = Network.create engine Topology.aws_paper () in
     let dep =
@@ -73,13 +78,17 @@ let batching ?(scale = 1.0) () =
           if !done_count = burst then finish_at := Engine.now engine)
     done;
     Engine.run ~until:(Time.of_sec 60.0) engine;
-    if !done_count < burst then failwith "batching ablation: burst did not finish";
-    let makespan_ms = Time.to_ms (Time.diff !finish_at t0) in
-    let throughput = float_of_int burst /. (makespan_ms /. 1000.0) in
-    (makespan_ms, throughput)
+  if !done_count < burst then failwith "batching ablation: burst did not finish";
+  let makespan_ms = Time.to_ms (Time.diff !finish_at t0) in
+  let throughput = float_of_int burst /. (makespan_ms /. 1000.0) in
+  (makespan_ms, throughput)
+
+let batching_merge ~burst results =
+  let (mk1, th1), (mk64, th64) =
+    match results with
+    | [ a; b ] -> (a, b)
+    | _ -> failwith "batching ablation: expected two burst results"
   in
-  let mk1, th1 = run_burst ~batch_max:1 ~seed:6200L in
-  let mk64, th64 = run_burst ~batch_max:64 ~seed:6201L in
   [
     {
       Report.id = "ablation-batch";
@@ -96,11 +105,23 @@ let batching ?(scale = 1.0) () =
     };
   ]
 
+let batching_plan ~scale =
+  let burst = Runner.scaled scale 50 in
+  Runner.Plan
+    {
+      tasks =
+        [
+          (fun () -> run_burst ~burst ~batch_max:1 ~seed:6200L);
+          (fun () -> run_burst ~burst ~batch_max:64 ~seed:6201L);
+        ];
+      merge = batching_merge ~burst;
+    }
+
+let batching ?(scale = 1.0) () = Runner.run_plan (batching_plan ~scale)
+
 (* ---------- signature schemes ---------- *)
 
-let signatures ?(scale = 1.0) () =
-  let n = Stdlib.max 2 (Runner.scaled scale 5) in
-  let run_scheme ~scheme ~seed =
+let run_scheme ~n ~scheme ~seed =
     let engine = Engine.create ~seed () in
     let net = Network.create engine Topology.aws_paper () in
     let dep =
@@ -130,12 +151,16 @@ let signatures ?(scale = 1.0) () =
     in
     go 1;
     Engine.run ~until:(Time.of_sec 60.0) engine;
-    if !received < n then failwith "signature ablation: messages lost";
-    let bytes = (Network.counters net).Network.bytes_sent in
-    (Bp_util.Stats.mean stats, bytes / n)
+  if !received < n then failwith "signature ablation: messages lost";
+  let bytes = (Network.counters net).Network.bytes_sent in
+  (Bp_util.Stats.mean stats, bytes / n)
+
+let signatures_merge results =
+  let (hmac_lat, hmac_bytes), (hash_lat, hash_bytes) =
+    match results with
+    | [ a; b ] -> (a, b)
+    | _ -> failwith "signature ablation: expected two scheme results"
   in
-  let hmac_lat, hmac_bytes = run_scheme ~scheme:`Hmac ~seed:6300L in
-  let hash_lat, hash_bytes = run_scheme ~scheme:`Hash_based ~seed:6301L in
   [
     {
       Report.id = "ablation-sig";
@@ -161,38 +186,51 @@ let signatures ?(scale = 1.0) () =
     };
   ]
 
+let signatures_plan ~scale =
+  let n = Stdlib.max 2 (Runner.scaled scale 5) in
+  Runner.Plan
+    {
+      tasks =
+        [
+          (fun () -> run_scheme ~n ~scheme:`Hmac ~seed:6300L);
+          (fun () -> run_scheme ~n ~scheme:`Hash_based ~seed:6301L);
+        ];
+      merge = signatures_merge;
+    }
+
+let signatures ?(scale = 1.0) () = Runner.run_plan (signatures_plan ~scale)
+
 (* ---------- behaviour under network loss ---------- *)
 
-let loss ?(scale = 1.0) () =
+let loss_rates = [ 0.0; 0.01; 0.05; 0.10 ]
+
+let loss_task ~scale i rate () =
   let n = Runner.scaled scale 30 in
-  let run_rate rate ~seed =
-    let engine = Engine.create ~seed () in
-    let faults = { Network.no_faults with drop = rate } in
-    let net = Network.create engine Topology.aws_paper ~faults () in
-    let dep =
-      Deployment.create ~network:net ~n_participants:1 ~fi:1
-        ~app:(fun () -> App.make (module App.Null))
-        ()
-    in
-    let api = Deployment.api dep 0 in
+  let seed = Int64.of_int (6400 + i) in
+  let engine = Engine.create ~seed () in
+  let faults = { Network.no_faults with drop = rate } in
+  let net = Network.create engine Topology.aws_paper ~faults () in
+  let dep =
+    Deployment.create ~network:net ~n_participants:1 ~fi:1
+      ~app:(fun () -> App.make (module App.Null))
+      ()
+  in
+  let api = Deployment.api dep 0 in
+  let stats =
     Runner.sequential engine ~n ~warmup:3 ~run_one:(fun i ~on_done ->
         let started = Engine.now engine in
         Api.log_commit api (Runner.payload ~size:1000 i) ~on_done:(fun () ->
             on_done (Time.to_ms (Time.diff (Engine.now engine) started))))
   in
-  let rows =
-    List.mapi
-      (fun i rate ->
-        let stats = run_rate rate ~seed:(Int64.of_int (6400 + i)) in
-        let s = Bp_util.Stats.summarize stats in
-        [
-          Printf.sprintf "%.0f%%" (rate *. 100.0);
-          Report.ms s.Bp_util.Stats.mean;
-          Report.ms s.Bp_util.Stats.p50;
-          Report.ms s.Bp_util.Stats.max;
-        ])
-      [ 0.0; 0.01; 0.05; 0.10 ]
-  in
+  let s = Bp_util.Stats.summarize stats in
+  [
+    Printf.sprintf "%.0f%%" (rate *. 100.0);
+    Report.ms s.Bp_util.Stats.mean;
+    Report.ms s.Bp_util.Stats.p50;
+    Report.ms s.Bp_util.Stats.max;
+  ]
+
+let loss_merge rows =
   [
     {
       Report.id = "ablation-loss";
@@ -207,37 +245,45 @@ let loss ?(scale = 1.0) () =
     };
   ]
 
+let loss_plan ~scale =
+  Runner.Plan
+    {
+      tasks = List.mapi (fun i r -> loss_task ~scale i r) loss_rates;
+      merge = loss_merge;
+    }
+
+let loss ?(scale = 1.0) () = Runner.run_plan (loss_plan ~scale)
+
 (* ---------- offered load vs latency (open loop) ---------- *)
 
-let load ?(scale = 1.0) () =
+let load_rates = [ 1_000.0; 5_000.0; 20_000.0; 40_000.0; 80_000.0 ]
+
+let load_task ~scale i rate () =
   let count = Runner.scaled scale 400 in
-  let run_rate rate ~seed =
-    let engine = Engine.create ~seed () in
+  let seed = Int64.of_int (6600 + i) in
+  let engine = Engine.create ~seed () in
     let net = Network.create engine Topology.aws_paper () in
     let dep =
       Deployment.create ~network:net ~n_participants:1 ~fi:1
         ~app:(fun () -> App.make (module App.Null))
         ()
     in
-    let api = Deployment.api dep 0 in
-    let rng = Bp_util.Rng.split (Engine.rng engine) in
+  let api = Deployment.api dep 0 in
+  let rng = Bp_util.Rng.split (Engine.rng engine) in
+  let r =
     Workload.open_loop engine ~rng ~rate_per_sec:rate ~count
       ~submit:(fun i ~on_done ->
         Api.log_commit api (Runner.payload ~size:1000 i) ~on_done)
   in
-  let rows =
-    List.mapi
-      (fun i rate ->
-        let r = run_rate rate ~seed:(Int64.of_int (6600 + i)) in
-        let s = Bp_util.Stats.summarize r.Workload.latencies in
-        [
-          Printf.sprintf "%.0f/s" rate;
-          Printf.sprintf "%.0f/s" r.Workload.achieved_per_sec;
-          Report.ms s.Bp_util.Stats.mean;
-          Report.ms s.Bp_util.Stats.p99;
-        ])
-      [ 1_000.0; 5_000.0; 20_000.0; 40_000.0; 80_000.0 ]
-  in
+  let s = Bp_util.Stats.summarize r.Workload.latencies in
+  [
+    Printf.sprintf "%.0f/s" rate;
+    Printf.sprintf "%.0f/s" r.Workload.achieved_per_sec;
+    Report.ms s.Bp_util.Stats.mean;
+    Report.ms s.Bp_util.Stats.p99;
+  ]
+
+let load_merge rows =
   [
     {
       Report.id = "ablation-load";
@@ -251,3 +297,12 @@ let load ?(scale = 1.0) () =
         ];
     };
   ]
+
+let load_plan ~scale =
+  Runner.Plan
+    {
+      tasks = List.mapi (fun i r -> load_task ~scale i r) load_rates;
+      merge = load_merge;
+    }
+
+let load ?(scale = 1.0) () = Runner.run_plan (load_plan ~scale)

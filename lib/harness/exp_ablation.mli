@@ -18,3 +18,14 @@ val loss : ?scale:float -> unit -> Report.t list
 val load : ?scale:float -> unit -> Report.t list
 (** Open-loop offered load vs commit latency: the queueing/batching knee
     of group commit (§VI-C) under a Poisson arrival process. *)
+
+(** Plan decompositions for the domain pool: [reads] is one task (its
+    three strategies share a populated world); [batching] and
+    [signatures] are one task per configuration; [loss] and [load] one
+    task per rate. *)
+
+val reads_plan : scale:float -> Runner.plan
+val batching_plan : scale:float -> Runner.plan
+val signatures_plan : scale:float -> Runner.plan
+val loss_plan : scale:float -> Runner.plan
+val load_plan : scale:float -> Runner.plan

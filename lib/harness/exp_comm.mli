@@ -3,7 +3,12 @@
     [receive], and acknowledging receipt back at the source, for every
     pair of datacenters; plus the overhead relative to the raw RTT. *)
 
+val fig6_plan : scale:float -> Runner.plan
+(** One task per datacenter pair — 6 worlds. *)
+
 val fig6 : ?scale:float -> unit -> Report.t list
 
 (** Table I is reproduced for completeness (the topology inputs). *)
 val table1 : unit -> Report.t list
+
+val table1_plan : unit -> Runner.plan

@@ -63,24 +63,23 @@ let measure ~fi ~fg ~n ~seed =
       int_of_float (netto send_bytes bg_bytes_per_ms send_span /. float_of_int n);
   }
 
-let costs ?(scale = 1.0) () =
+let configs = [ (1, 0); (1, 1); (2, 0) ]
+
+(* One task per (fi, fg) configuration; [i] fixes the seed. *)
+let costs_task ~scale i (fi, fg) () =
   let n = Runner.scaled scale 10 in
-  let configs = [ (1, 0); (1, 1); (2, 0) ] in
-  let rows =
-    List.mapi
-      (fun i (fi, fg) ->
-        let s = measure ~fi ~fg ~n ~seed:(Int64.of_int (6500 + i)) in
-        [
-          Printf.sprintf "fi=%d fg=%d" fi fg;
-          string_of_int s.nodes_per_participant;
-          string_of_int (4 * s.nodes_per_participant);
-          string_of_int s.commit_msgs;
-          string_of_int (s.commit_bytes / 1000);
-          string_of_int s.send_msgs;
-          string_of_int (s.send_bytes / 1000);
-        ])
-      configs
-  in
+  let s = measure ~fi ~fg ~n ~seed:(Int64.of_int (6500 + i)) in
+  [
+    Printf.sprintf "fi=%d fg=%d" fi fg;
+    string_of_int s.nodes_per_participant;
+    string_of_int (4 * s.nodes_per_participant);
+    string_of_int s.commit_msgs;
+    string_of_int (s.commit_bytes / 1000);
+    string_of_int s.send_msgs;
+    string_of_int (s.send_bytes / 1000);
+  ]
+
+let costs_merge rows =
   [
     {
       Report.id = "costs";
@@ -104,3 +103,12 @@ let costs ?(scale = 1.0) () =
         ];
     };
   ]
+
+let costs_plan ~scale =
+  Runner.Plan
+    {
+      tasks = List.mapi (fun i c -> costs_task ~scale i c) configs;
+      merge = costs_merge;
+    }
+
+let costs ?(scale = 1.0) () = Runner.run_plan (costs_plan ~scale)

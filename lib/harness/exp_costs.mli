@@ -7,4 +7,7 @@
     network counters: nodes provisioned, messages and bytes on the wire
     per [log-commit] and per [send], across (fi, fg) configurations. *)
 
+val costs_plan : scale:float -> Runner.plan
+(** One task per (fi, fg) configuration. *)
+
 val costs : ?scale:float -> unit -> Report.t list

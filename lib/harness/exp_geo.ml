@@ -9,45 +9,50 @@ let fig5_paper = function
   | 3, 1 -> "~72" | 3, 2 -> "~135" | 3, 3 -> ">135" (* Ireland *)
   | _ -> "-"
 
-let fig5 ?(scale = 1.0) () =
+(* dc-major, fg-minor: the row order of the rendered report. *)
+let fig5_points =
+  List.concat_map (fun dc -> List.map (fun fg -> (dc, fg)) [ 1; 2; 3 ]) [ 0; 1; 2; 3 ]
+
+let fig5_task ~scale (dc, fg) () =
   let topo = Topology.aws_paper in
-  let rows = ref [] in
-  for dc = 0 to 3 do
-    for fg = 1 to 3 do
-      let world =
-        Runner.fresh_world ~fg ~seed:(Int64.of_int (4000 + (10 * dc) + fg)) ()
-      in
-      let api = Deployment.api world.Runner.dep dc in
-      let n = Runner.scaled scale 10 in
-      let stats =
-        Runner.sequential world.Runner.engine ~n ~warmup:2 ~run_one:(fun i ~on_done ->
-            let started = Engine.now world.Runner.engine in
-            Api.log_commit api (Runner.payload ~size:1000 i) ~on_done:(fun () ->
-                on_done
-                  (Time.to_ms (Time.diff (Engine.now world.Runner.engine) started))))
-      in
-      rows :=
-        [
-          Printf.sprintf "%c(%d)" (Topology.name topo dc).[0] fg;
-          Report.ms (Bp_util.Stats.mean stats);
-          fig5_paper (dc, fg);
-        ]
-        :: !rows
-    done
-  done;
+  let world =
+    Runner.fresh_world ~fg ~seed:(Int64.of_int (4000 + (10 * dc) + fg)) ()
+  in
+  let api = Deployment.api world.Runner.dep dc in
+  let n = Runner.scaled scale 10 in
+  let stats =
+    Runner.sequential world.Runner.engine ~n ~warmup:2 ~run_one:(fun i ~on_done ->
+        let started = Engine.now world.Runner.engine in
+        Api.log_commit api (Runner.payload ~size:1000 i) ~on_done:(fun () ->
+            on_done
+              (Time.to_ms (Time.diff (Engine.now world.Runner.engine) started))))
+  in
+  [
+    Printf.sprintf "%c(%d)" (Topology.name topo dc).[0] fg;
+    Report.ms (Bp_util.Stats.mean stats);
+    fig5_paper (dc, fg);
+  ]
+
+let fig5_merge rows =
   [
     {
       Report.id = "fig5";
       title = "Commit latency with geo-correlated fault tolerance";
       paper_ref = "Fig. 5, SVIII-B: fi=1, fg varies; X(g) = commit at X with fg=g";
       header = [ "scenario"; "ms (measured)"; "ms (paper)" ];
-      rows = List.rev !rows;
+      rows;
       notes =
         [
           "latency ~= local commit + RTT to the fg-th closest datacenter + mirror commit";
         ];
     };
   ]
+
+let fig5_plan ~scale =
+  Runner.Plan
+    { tasks = List.map (fun p -> fig5_task ~scale p) fig5_points; merge = fig5_merge }
+
+let fig5 ?(scale = 1.0) () = Runner.run_plan (fig5_plan ~scale)
 
 (* ---------- Fig. 8 ---------- *)
 
@@ -185,4 +190,11 @@ let fig8b ~scale =
       ];
   }
 
-let fig8 ?(scale = 1.0) () = [ fig8a ~scale; fig8b ~scale ]
+let fig8_plan ~scale =
+  Runner.Plan
+    {
+      tasks = [ (fun () -> fig8a ~scale); (fun () -> fig8b ~scale) ];
+      merge = (fun reports -> reports);
+    }
+
+let fig8 ?(scale = 1.0) () = Runner.run_plan (fig8_plan ~scale)

@@ -25,20 +25,18 @@ let fig4_points =
     (2000, 20, "8.2", "~240");
   ]
 
-let fig4 ?(scale = 1.0) () =
-  let results =
-    List.map
-      (fun (kb, batches, paper_lat, paper_thr) ->
-        let world = local_world ~fi:1 ~seed:(Int64.of_int (1000 + kb)) in
-        let n = Runner.scaled scale batches in
-        let warmup = Stdlib.max 1 (n / 10) in
-        let stats = commit_loop world ~size:(kb * 1000) ~n ~warmup in
-        let mean_ms = Bp_util.Stats.mean stats in
-        (* Group commit, one batch at a time: throughput = size/latency. *)
-        let throughput_mbps = float_of_int kb /. 1000.0 /. (mean_ms /. 1000.0) in
-        (kb, mean_ms, throughput_mbps, paper_lat, paper_thr))
-      fig4_points
-  in
+(* One task per batch size: each point gets its own world and seed. *)
+let fig4_task ~scale (kb, batches, paper_lat, paper_thr) () =
+  let world = local_world ~fi:1 ~seed:(Int64.of_int (1000 + kb)) in
+  let n = Runner.scaled scale batches in
+  let warmup = Stdlib.max 1 (n / 10) in
+  let stats = commit_loop world ~size:(kb * 1000) ~n ~warmup in
+  let mean_ms = Bp_util.Stats.mean stats in
+  (* Group commit, one batch at a time: throughput = size/latency. *)
+  let throughput_mbps = float_of_int kb /. 1000.0 /. (mean_ms /. 1000.0) in
+  (kb, mean_ms, throughput_mbps, paper_lat, paper_thr)
+
+let fig4_merge results =
   let lat_rows =
     List.map
       (fun (kb, mean_ms, _, paper_lat, _) ->
@@ -76,28 +74,31 @@ let fig4 ?(scale = 1.0) () =
     };
   ]
 
+let fig4_plan ~scale =
+  Runner.Plan
+    { tasks = List.map (fun p -> fig4_task ~scale p) fig4_points; merge = fig4_merge }
+
+let fig4 ?(scale = 1.0) () = Runner.run_plan (fig4_plan ~scale)
+
 let table2_points =
   [ (1, "83", "1.2"); (2, "51", "1.9"); (3, "28", "3.5"); (4, "25", "4") ]
 
-let table2 ?(scale = 1.0) () =
-  let rows =
-    List.map
-      (fun (fi, paper_thr, paper_lat) ->
-        let world = local_world ~fi ~seed:(Int64.of_int (2000 + fi)) in
-        let n = Runner.scaled scale 50 in
-        let warmup = Stdlib.max 1 (n / 10) in
-        let stats = commit_loop world ~size:100_000 ~n ~warmup in
-        let mean_ms = Bp_util.Stats.mean stats in
-        let thr = 0.1 /. (mean_ms /. 1000.0) in
-        [
-          Printf.sprintf "%d (fi=%d)" ((3 * fi) + 1) fi;
-          Report.mbps thr;
-          paper_thr;
-          Report.ms mean_ms;
-          paper_lat;
-        ])
-      table2_points
-  in
+let table2_task ~scale (fi, paper_thr, paper_lat) () =
+  let world = local_world ~fi ~seed:(Int64.of_int (2000 + fi)) in
+  let n = Runner.scaled scale 50 in
+  let warmup = Stdlib.max 1 (n / 10) in
+  let stats = commit_loop world ~size:100_000 ~n ~warmup in
+  let mean_ms = Bp_util.Stats.mean stats in
+  let thr = 0.1 /. (mean_ms /. 1000.0) in
+  [
+    Printf.sprintf "%d (fi=%d)" ((3 * fi) + 1) fi;
+    Report.mbps thr;
+    paper_thr;
+    Report.ms mean_ms;
+    paper_lat;
+  ]
+
+let table2_merge rows =
   [
     {
       Report.id = "table2";
@@ -109,3 +110,12 @@ let table2 ?(scale = 1.0) () =
       notes = [ "expected shape: throughput falls and latency rises with n" ];
     };
   ]
+
+let table2_plan ~scale =
+  Runner.Plan
+    {
+      tasks = List.map (fun p -> table2_task ~scale p) table2_points;
+      merge = table2_merge;
+    }
+
+let table2 ?(scale = 1.0) () = Runner.run_plan (table2_plan ~scale)

@@ -5,7 +5,13 @@
     Table II: the same at 100 KB while varying the unit size
     n ∈ {4, 7, 10, 13} (fi 1..4). *)
 
+val fig4_plan : scale:float -> Runner.plan
+(** One task per batch size. *)
+
 val fig4 : ?scale:float -> unit -> Report.t list
 (** Returns the fig4a (latency) and fig4b (throughput) reports. *)
+
+val table2_plan : scale:float -> Runner.plan
+(** One task per unit size (fi 1..4). *)
 
 val table2 : ?scale:float -> unit -> Report.t list

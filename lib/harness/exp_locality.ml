@@ -55,10 +55,12 @@ let run_flat_pbft ~reps ~seed =
              on_done 0.0)));
   split_traffic net
 
-let locality ?(scale = 1.0) () =
-  let reps = Runner.scaled scale 10 in
-  let bp_intra, bp_wide = run_bp_paxos ~reps ~seed:6700L in
-  let fp_intra, fp_wide = run_flat_pbft ~reps ~seed:6701L in
+let locality_merge ~reps results =
+  let (bp_intra, bp_wide), (fp_intra, fp_wide) =
+    match results with
+    | [ a; b ] -> (a, b)
+    | _ -> failwith "locality: expected two traffic splits"
+  in
   let row name (intra, wide) =
     let total = intra + wide in
     [
@@ -85,3 +87,17 @@ let locality ?(scale = 1.0) () =
         ];
     };
   ]
+
+let locality_plan ~scale =
+  let reps = Runner.scaled scale 10 in
+  Runner.Plan
+    {
+      tasks =
+        [
+          (fun () -> run_bp_paxos ~reps ~seed:6700L);
+          (fun () -> run_flat_pbft ~reps ~seed:6701L);
+        ];
+      merge = locality_merge ~reps;
+    }
+
+let locality ?(scale = 1.0) () = Runner.run_plan (locality_plan ~scale)

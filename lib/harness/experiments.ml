@@ -1,7 +1,7 @@
 type t = {
   id : string;
   title : string;
-  run : scale:float -> Report.t list;
+  plan : scale:float -> Runner.plan;
 }
 
 let all =
@@ -9,76 +9,79 @@ let all =
     {
       id = "table1";
       title = "RTT matrix between the four datacenters (simulator input)";
-      run = (fun ~scale:_ -> Exp_comm.table1 ());
+      plan = (fun ~scale:_ -> Exp_comm.table1_plan ());
     };
     {
       id = "fig4";
       title = "Local commitment latency/throughput vs batch size";
-      run = (fun ~scale -> Exp_local.fig4 ~scale ());
+      plan = (fun ~scale -> Exp_local.fig4_plan ~scale);
     };
     {
       id = "table2";
       title = "Local commitment vs number of nodes";
-      run = (fun ~scale -> Exp_local.table2 ~scale ());
+      plan = (fun ~scale -> Exp_local.table2_plan ~scale);
     };
     {
       id = "fig5";
       title = "Geo-correlated fault tolerance latency";
-      run = (fun ~scale -> Exp_geo.fig5 ~scale ());
+      plan = (fun ~scale -> Exp_geo.fig5_plan ~scale);
     };
     {
       id = "fig6";
       title = "Communication latency between participants";
-      run = (fun ~scale -> Exp_comm.fig6 ~scale ());
+      plan = (fun ~scale -> Exp_comm.fig6_plan ~scale);
     };
     {
       id = "fig7";
       title = "Byzantized paxos vs baselines";
-      run = (fun ~scale -> Exp_consensus.fig7 ~scale ());
+      plan = (fun ~scale -> Exp_consensus.fig7_plan ~scale);
     };
     {
       id = "fig8";
       title = "Reacting to failures";
-      run = (fun ~scale -> Exp_geo.fig8 ~scale ());
+      plan = (fun ~scale -> Exp_geo.fig8_plan ~scale);
     };
     (* Ablations beyond the paper's figures. *)
     {
       id = "ablation-reads";
       title = "Read strategies (SVI-A) latency";
-      run = (fun ~scale -> Exp_ablation.reads ~scale ());
+      plan = (fun ~scale -> Exp_ablation.reads_plan ~scale);
     };
     {
       id = "ablation-batch";
       title = "Group commit (SVI-C) on/off";
-      run = (fun ~scale -> Exp_ablation.batching ~scale ());
+      plan = (fun ~scale -> Exp_ablation.batching_plan ~scale);
     };
     {
       id = "ablation-sig";
       title = "HMAC vs hash-based signatures";
-      run = (fun ~scale -> Exp_ablation.signatures ~scale ());
+      plan = (fun ~scale -> Exp_ablation.signatures_plan ~scale);
     };
     {
       id = "ablation-loss";
       title = "Commit latency under packet loss";
-      run = (fun ~scale -> Exp_ablation.loss ~scale ());
+      plan = (fun ~scale -> Exp_ablation.loss_plan ~scale);
     };
     {
       id = "ablation-load";
       title = "Offered load vs latency (open loop)";
-      run = (fun ~scale -> Exp_ablation.load ~scale ());
+      plan = (fun ~scale -> Exp_ablation.load_plan ~scale);
     };
     {
       id = "locality";
       title = "Intra-DC vs wide-area traffic share (SIII-A)";
-      run = (fun ~scale -> Exp_locality.locality ~scale ());
+      plan = (fun ~scale -> Exp_locality.locality_plan ~scale);
     };
     {
       id = "costs";
       title = "Resource costs of byzantizing (SVI-D)";
-      run = (fun ~scale -> Exp_costs.costs ~scale ());
+      plan = (fun ~scale -> Exp_costs.costs_plan ~scale);
     };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all
 
-let run_all ?(scale = 1.0) () = List.concat_map (fun e -> e.run ~scale) all
+let run ?pool e ~scale = Runner.run_plan ?pool (e.plan ~scale)
+
+let run_all ?pool ?(scale = 1.0) () =
+  List.concat_map (fun e -> run ?pool e ~scale) all

@@ -1,9 +1,14 @@
-(** The experiment registry: every table and figure of §VIII, by id. *)
+(** The experiment registry: every table and figure of §VIII, by id.
+
+    Each experiment is registered as a {!Runner.plan} factory — a sweep
+    decomposed into independent single-simulation tasks — so a run can
+    be executed sequentially or fanned out over a {!Bp_parallel.Pool}
+    with bit-identical output. *)
 
 type t = {
   id : string;
   title : string;
-  run : scale:float -> Report.t list;
+  plan : scale:float -> Runner.plan;
 }
 
 val all : t list
@@ -12,4 +17,8 @@ val all : t list
 
 val find : string -> t option
 
-val run_all : ?scale:float -> unit -> Report.t list
+val run : ?pool:Bp_parallel.Pool.t -> t -> scale:float -> Report.t list
+(** Execute one experiment — on the pool's worker domains when [pool] is
+    given, inline otherwise. Output is identical either way. *)
+
+val run_all : ?pool:Bp_parallel.Pool.t -> ?scale:float -> unit -> Report.t list

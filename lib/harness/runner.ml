@@ -47,3 +47,23 @@ let sequential engine ~n ~warmup ~run_one =
   stats
 
 let scaled s n = Stdlib.max 1 (int_of_float (Float.round (s *. float_of_int n)))
+
+(* An experiment decomposed for the domain pool: independent closed
+   tasks (each builds its own engine/network/deployment from its own
+   seed — nothing is shared) plus a merge over the results in task-index
+   order. The existential keeps per-experiment result types out of the
+   registry. *)
+type plan =
+  | Plan : {
+      tasks : (unit -> 'a) list;
+      merge : 'a list -> Report.t list;
+    }
+      -> plan
+
+let run_plan ?pool (Plan { tasks; merge }) =
+  let results =
+    match pool with
+    | None -> List.map (fun task -> task ()) tasks
+    | Some pool -> Bp_parallel.Pool.run pool tasks
+  in
+  merge results

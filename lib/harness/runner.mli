@@ -33,3 +33,22 @@ val sequential :
 
 val scaled : float -> int -> int
 (** [scaled s n] = max 1 (round (s * n)) — workload scaling. *)
+
+type plan =
+  | Plan : {
+      tasks : (unit -> 'a) list;
+      merge : 'a list -> Report.t list;
+    }
+      -> plan
+(** An experiment as a list of independent closed tasks plus a merge of
+    their results. Each task must be self-contained: it builds its own
+    engine, network and deployment from its own fixed seed and shares no
+    mutable state with any other task, so the tasks can run on worker
+    domains in any order. [merge] always receives the results in
+    task-index order — which is why parallel output is bit-identical to
+    sequential. *)
+
+val run_plan : ?pool:Bp_parallel.Pool.t -> plan -> Report.t list
+(** Execute a plan's tasks — sequentially in task order when [pool] is
+    absent, on the pool's worker domains otherwise — and merge the
+    results. The two modes produce identical reports by construction. *)

@@ -11,21 +11,20 @@ type packet =
   | Data of { seq : int; tag : string; payload : string }
   | Ack of { next_expected : int }
 
-let encode_packet p =
-  Bp_codec.Wire.encode (fun e ->
-      match p with
-      | Unreliable { tag; payload } ->
-          Bp_codec.Wire.u8 e 0;
-          Bp_codec.Wire.string e tag;
-          Bp_codec.Wire.string e payload
-      | Data { seq; tag; payload } ->
-          Bp_codec.Wire.u8 e 1;
-          Bp_codec.Wire.varint e seq;
-          Bp_codec.Wire.string e tag;
-          Bp_codec.Wire.string e payload
-      | Ack { next_expected } ->
-          Bp_codec.Wire.u8 e 2;
-          Bp_codec.Wire.varint e next_expected)
+let encode_packet_into e p =
+  match p with
+  | Unreliable { tag; payload } ->
+      Bp_codec.Wire.u8 e 0;
+      Bp_codec.Wire.string e tag;
+      Bp_codec.Wire.string e payload
+  | Data { seq; tag; payload } ->
+      Bp_codec.Wire.u8 e 1;
+      Bp_codec.Wire.varint e seq;
+      Bp_codec.Wire.string e tag;
+      Bp_codec.Wire.string e payload
+  | Ack { next_expected } ->
+      Bp_codec.Wire.u8 e 2;
+      Bp_codec.Wire.varint e next_expected
 
 let decode_packet s =
   Bp_codec.Wire.decode s (fun d ->
@@ -60,7 +59,7 @@ type t = {
   self : Addr.t;
   handlers : (string, src:Addr.t -> string -> unit) Hashtbl.t;
   peers : peer Addr.Tbl.t;
-  scratch : Bp_codec.Wire.encoder; (* per-destination packet assembly *)
+  scratch : Bp_codec.Wire.encoder; (* frame assembly (Frame.seal_with) *)
   mutable retransmissions : int;
   mutable discarded : int;
   mutable stopped : bool;
@@ -107,8 +106,13 @@ let rto t p =
      forever and never yield an RTT sample. *)
   Time.scale base (Float.of_int (1 lsl Stdlib.min p.backoff 6))
 
+(* The packet is serialized straight into the frame inside the endpoint's
+   scratch encoder (Frame.seal_with): one exactly-sized string allocation
+   per send, no intermediate payload copy — the 2 MB fig4 batches pay one
+   blit instead of two. *)
 let raw_send t ~dst packet =
-  Network.send t.net ~src:t.self ~dst (Bp_codec.Frame.seal (encode_packet packet))
+  Network.send t.net ~src:t.self ~dst
+    (Bp_codec.Frame.seal_with t.scratch (fun e -> encode_packet_into e packet))
 
 let rec arm_retransmit t p =
   match p.retransmit with
@@ -260,13 +264,12 @@ let broadcast t ?(reliable = true) ~dsts ~tag payload =
     (* Per-destination assembly reuses the endpoint's scratch encoder and
        does not re-walk the message (not counted by Wire.encode_calls). *)
     let assemble header_kind seq =
-      Bp_codec.Wire.reset t.scratch;
-      Bp_codec.Wire.u8 t.scratch header_kind;
-      (match seq with
-      | Some s -> Bp_codec.Wire.varint t.scratch s
-      | None -> ());
-      Bp_codec.Wire.fixed t.scratch suffix;
-      Bp_codec.Frame.seal (Bp_codec.Wire.to_string t.scratch)
+      Bp_codec.Frame.seal_with t.scratch (fun e ->
+          Bp_codec.Wire.u8 e header_kind;
+          (match seq with
+          | Some s -> Bp_codec.Wire.varint e s
+          | None -> ());
+          Bp_codec.Wire.fixed e suffix)
     in
     if not reliable then begin
       let frame = ref None in

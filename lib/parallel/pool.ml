@@ -1,0 +1,155 @@
+(* A mutex/condition work-sharing pool over OCaml 5 domains — the one
+   place in the tree where multicore primitives are allowed (bplint
+   R2-domain). Workers pull task indices from a shared cursor under the
+   pool mutex, run the task unlocked, and publish the result into a
+   per-batch slot keyed by that index; the caller merges by index, so
+   scheduling order never leaks into results.
+
+   Everything mutable is protected by [mutex]; there are no atomics and
+   no lock-free cleverness. The tasks themselves dwarf the per-task
+   locking cost (each is a whole simulation), so contention on the
+   cursor is irrelevant. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* workers wait here for a batch / more indices *)
+  idle : Condition.t; (* the caller waits here for batch completion *)
+  mutable run_task : (int -> unit) option;
+      (* the current batch, erased to [int -> unit]: slot [i] runs task
+         [i] and stores its result (closed over the caller's array) *)
+  mutable total : int; (* number of tasks in the current batch *)
+  mutable next : int; (* next unclaimed task index *)
+  mutable active : int; (* tasks currently executing in workers *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Called with [t.mutex] held; returns with it held. *)
+let rec next_job t =
+  if t.stopping then None
+  else
+    match t.run_task with
+    | Some f when t.next < t.total ->
+        let i = t.next in
+        t.next <- t.next + 1;
+        t.active <- t.active + 1;
+        Some (f, i)
+    | Some _ | None ->
+        Condition.wait t.work t.mutex;
+        next_job t
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  match next_job t with
+  | None -> Mutex.unlock t.mutex
+  | Some (f, i) ->
+      Mutex.unlock t.mutex;
+      let outcome =
+        match f i with
+        | () -> None
+        | exception e -> Some (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      (match outcome with
+      | None -> ()
+      | Some failure ->
+          (match t.failure with
+          | Some _ -> ()
+          | None -> t.failure <- Some failure);
+          (* Abandon indices not yet claimed; running tasks finish. *)
+          t.next <- t.total);
+      t.active <- t.active - 1;
+      if t.next >= t.total && t.active = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.mutex;
+      worker t
+
+let create ~jobs =
+  let jobs = Stdlib.max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      run_task = None;
+      total = 0;
+      next = 0;
+      active = 0;
+      failure = None;
+      stopping = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let run t tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  if t.stopping then invalid_arg "Pool.run: pool is shut down";
+  if n = 0 then []
+  else if t.jobs <= 1 || n = 1 then
+    (* Inline on the calling domain: this is the [-j 1] reference path,
+       and trivially bit-identical to the sequential harness. *)
+    Array.to_list (Array.map (fun f -> f ()) tasks)
+  else begin
+    let results = Array.make n None in
+    Mutex.lock t.mutex;
+    (match t.run_task with
+    | Some _ ->
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.run: a batch is already running"
+    | None -> ());
+    t.run_task <- Some (fun i -> results.(i) <- Some (tasks.(i) ()));
+    t.total <- n;
+    t.next <- 0;
+    t.failure <- None;
+    Condition.broadcast t.work;
+    while not (t.next >= t.total && t.active = 0) do
+      Condition.wait t.idle t.mutex
+    done;
+    t.run_task <- None;
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.to_list
+          (Array.map
+             (function
+               | Some v -> v
+               | None ->
+                   (* Unreachable: every index was claimed and completed. *)
+                   invalid_arg "Pool.run: missing result")
+             results)
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stopping then begin
+    t.stopping <- true;
+    Condition.broadcast t.work
+  end;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let map ~jobs tasks =
+  let t = create ~jobs in
+  match run t tasks with
+  | results ->
+      shutdown t;
+      results
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      shutdown t;
+      Printexc.raise_with_backtrace e bt
+
+let default_jobs () = Domain.recommended_domain_count ()

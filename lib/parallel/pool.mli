@@ -1,0 +1,48 @@
+(** A fixed-size pool of worker domains for independent, closed tasks.
+
+    This is the only module in the repository allowed to touch the
+    multicore primitives ([Domain] / [Mutex] / [Condition] — enforced by
+    the bplint R2-domain rule): protocol and simulator code stays
+    single-domain deterministic, and parallelism exists purely at the
+    granularity of whole simulations. The experiment harness hands the
+    pool a list of closures, each of which builds its own engine,
+    network and replicas from its own seed; the pool returns the results
+    in task-index order, so a parallel run is observationally identical
+    to [List.map (fun f -> f ()) tasks].
+
+    The pool is not a general scheduler: one batch runs at a time, and
+    {!run} must not be called from two domains concurrently or from
+    inside a task. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [max 1 jobs] workers. [jobs <= 1] spawns no domains
+    at all: {!run} then executes tasks inline on the calling domain, so
+    [-j 1] is exactly the pre-pool sequential behaviour. *)
+
+val jobs : t -> int
+(** The (clamped) parallelism the pool was created with. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute every task and return the results in task-index order,
+    regardless of completion order. Tasks are claimed by workers in
+    index order but may finish in any order; the caller blocks until the
+    batch is complete.
+
+    If a task raises, the first exception (in completion order) is
+    re-raised in the caller with its backtrace, tasks not yet started
+    are abandoned, and already-running tasks are allowed to finish. The
+    pool remains usable for subsequent batches.
+
+    @raise Invalid_argument if the pool is shut down. *)
+
+val shutdown : t -> unit
+(** Join all workers. Idempotent. The pool cannot run batches after. *)
+
+val map : jobs:int -> (unit -> 'a) list -> 'a list
+(** One-shot convenience: create a pool, {!run} the batch, {!shutdown}
+    (also on exception). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default. *)

@@ -11,6 +11,7 @@ type counters = {
   sent : int;
   delivered : int;
   dropped : int;
+  dropped_at_source : int;
   corrupted : int;
   duplicated : int;
   bytes_sent : int;
@@ -34,6 +35,7 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable dropped_at_source : int;
   mutable corrupted : int;
   mutable duplicated : int;
   mutable bytes_sent : int;
@@ -51,6 +53,7 @@ let create engine topology ?(faults = no_faults) () =
     sent = 0;
     delivered = 0;
     dropped = 0;
+    dropped_at_source = 0;
     corrupted = 0;
     duplicated = 0;
     bytes_sent = 0;
@@ -117,17 +120,27 @@ let deliver t ~src ~dst payload =
         node.handler ~src payload
       end
 
+(* The send never leaves the source NIC: it is neither offered traffic
+   nor load on the link, so [sent]/[bytes_sent]/the traffic matrix must
+   not see it — otherwise crashed or partitioned senders inflate the
+   cost and locality accounting. *)
+let drop_at_source t =
+  t.dropped <- t.dropped + 1;
+  t.dropped_at_source <- t.dropped_at_source + 1
+
 let send t ~src ~dst payload =
-  t.sent <- t.sent + 1;
-  t.bytes_sent <- t.bytes_sent + String.length payload;
-  t.traffic.(src.Addr.dc).(dst.Addr.dc) <-
-    t.traffic.(src.Addr.dc).(dst.Addr.dc) + String.length payload;
   match Addr.Tbl.find_opt t.nodes src with
-  | None -> t.dropped <- t.dropped + 1
+  | None -> drop_at_source t
   | Some sender ->
-      if sender.crashed then t.dropped <- t.dropped + 1
-      else if link_down t src.Addr.dc dst.Addr.dc then t.dropped <- t.dropped + 1
+      if sender.crashed then drop_at_source t
+      else if link_down t src.Addr.dc dst.Addr.dc then drop_at_source t
       else begin
+        (* The packet actually departs: count it as offered traffic even
+           if the drop fault loses it in flight below. *)
+        t.sent <- t.sent + 1;
+        t.bytes_sent <- t.bytes_sent + String.length payload;
+        t.traffic.(src.Addr.dc).(dst.Addr.dc) <-
+          t.traffic.(src.Addr.dc).(dst.Addr.dc) + String.length payload;
         let now = Engine.now t.engine in
         let serialization = Topology.transfer_time t.topology (String.length payload) in
         let depart = Time.add (Time.max now sender.nic_busy_until) serialization in
@@ -166,6 +179,7 @@ let counters t =
     sent = t.sent;
     delivered = t.delivered;
     dropped = t.dropped;
+    dropped_at_source = t.dropped_at_source;
     corrupted = t.corrupted;
     duplicated = t.duplicated;
     bytes_sent = t.bytes_sent;

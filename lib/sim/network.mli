@@ -53,11 +53,17 @@ val set_link : t -> int -> int -> [ `Up | `Down ] -> unit
 (** Administratively partition a pair of datacenters (both directions). *)
 
 (** Counters since creation (delivered duplicates and corrupted-but-
-    delivered packets count as delivered). *)
+    delivered packets count as delivered). [sent] and [bytes_sent] cover
+    only packets that actually departed the source NIC; sends refused at
+    the source (unregistered or crashed sender, administratively downed
+    link) appear in [dropped] and, additionally, in [dropped_at_source].
+    Packets lost to the in-flight drop fault departed, so they count as
+    sent and dropped but not dropped-at-source. *)
 type counters = {
   sent : int;
   delivered : int;
   dropped : int;
+  dropped_at_source : int;
   corrupted : int;
   duplicated : int;
   bytes_sent : int;
@@ -66,6 +72,7 @@ type counters = {
 val counters : t -> counters
 
 val traffic_matrix : t -> int array array
-(** [traffic_matrix t].(i).(j) = bytes offered from datacenter [i] to
-    datacenter [j] (including dropped packets). Quantifies locality:
-    diagonal = intra-datacenter traffic. *)
+(** [traffic_matrix t].(i).(j) = bytes from datacenter [i] that departed
+    towards datacenter [j] (including packets later lost in flight, but
+    not sends refused at the source). Quantifies locality: diagonal =
+    intra-datacenter traffic. *)

@@ -58,6 +58,13 @@ let test_r2_hiter () =
      must be suppressed. *)
   check_count ~msg:"order-dependent fold" "R2-hiter" 1 diags
 
+let test_r2_domain () =
+  let diags = Lint.lint_cmt ~rules:[ "R2-domain" ] (fixture "Fx_r2") in
+  (* Domain.spawn, Atomic.make and Mutex.create are flagged; the
+     Condition.create carries [@bplint.allow "R2-domain"]. *)
+  check_count ~msg:"Domain.spawn + Atomic.make + Mutex.create" "R2-domain" 3
+    diags
+
 let test_r3 () =
   let diags = Lint.lint_cmt ~rules:[ "R3-partial"; "R3-catchall" ] (fixture "Fx_r3") in
   check_count ~msg:"Option.get + List.hd" "R3-partial" 2 diags;
@@ -96,6 +103,12 @@ let test_policy () =
     (has "R2-nondet" "lib/harness/report.ml");
   Alcotest.(check bool) "all lib gets R4-print" true
     (has "R4-print" "lib/util/tablefmt.ml");
+  Alcotest.(check bool) "sim gets R2-domain" true
+    (has "R2-domain" "lib/sim/engine.ml");
+  Alcotest.(check bool) "pbft gets R2-domain" true
+    (has "R2-domain" "lib/pbft/replica.ml");
+  Alcotest.(check bool) "parallel exempt from R2-domain" false
+    (has "R2-domain" "lib/parallel/pool.ml");
   Alcotest.(check int) "bin gets nothing" 0
     (List.length (Lint.policy ~source:"bin/blockplane_cli.ml"))
 
@@ -120,6 +133,7 @@ let suite =
         Alcotest.test_case "R1 polymorphic compare" `Quick test_r1_polycmp;
         Alcotest.test_case "R2 nondeterminism" `Quick test_r2_nondet;
         Alcotest.test_case "R2 hashtbl iteration + allow attribute" `Quick test_r2_hiter;
+        Alcotest.test_case "R2 multicore primitives confined" `Quick test_r2_domain;
         Alcotest.test_case "R3 partial functions and catch-alls" `Quick test_r3;
         Alcotest.test_case "R4 printing and missing mli" `Quick test_r4;
         Alcotest.test_case "clean fixture" `Quick test_clean_fixture;

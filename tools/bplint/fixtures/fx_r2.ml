@@ -11,3 +11,11 @@ let sum_values (h : (int, int) Hashtbl.t) =
 (* Same construct under a site-level allow: must NOT be flagged. *)
 let cancel_all (h : (int, unit -> unit) Hashtbl.t) =
   (Hashtbl.iter (fun _ f -> f ()) h [@bplint.allow "R2-hiter"])
+
+(* Multicore primitives outside lib/parallel: all three flagged. *)
+let fork_work () = Domain.spawn (fun () -> 42)
+let shared_flag () = Atomic.make false
+let fresh_lock () = Mutex.create ()
+
+(* Same family under a site-level allow: must NOT be flagged. *)
+let allowed_condvar () = (Condition.create () [@bplint.allow "R2-domain"])

@@ -11,6 +11,7 @@ let all_rules =
     "R1-polycmp";
     "R2-nondet";
     "R2-hiter";
+    "R2-domain";
     "R3-partial";
     "R3-catchall";
     "R4-print";
@@ -97,6 +98,10 @@ let policy ~source =
       List.concat
         [
           [ "R2-nondet"; "R4-print"; "R4-mli" ];
+          (* Shared-memory parallelism lives in lib/parallel only: replica
+             and simulator code stays single-domain deterministic, and the
+             pool is the one audited place that touches Domain/Mutex. *)
+          (if in_dirs [ "parallel" ] then [] else [ "R2-domain" ]);
           (if in_dirs [ "sim"; "pbft"; "paxos"; "net"; "codec" ] then
              [ "R1-polycmp" ]
            else []);
@@ -253,6 +258,11 @@ let nondet_fns =
 
 let hiter_fns = [ "Stdlib.Hashtbl.iter"; "Stdlib.Hashtbl.fold" ]
 
+(* Any value from these modules (spawn, create, lock, ...) is flagged:
+   shared-memory parallelism is confined to lib/parallel. *)
+let domain_module_prefixes =
+  [ "Stdlib.Domain."; "Stdlib.Atomic."; "Stdlib.Mutex."; "Stdlib.Condition." ]
+
 let partial_fns =
   [ "Stdlib.Option.get"; "Stdlib.List.hd"; "Stdlib.List.tl"; "Stdlib.List.nth" ]
 
@@ -299,6 +309,17 @@ let check_ident ctx (e : Typedtree.expression) path =
       (Printf.sprintf
          "%s is a nondeterminism escape hatch; replicas and experiments must \
           draw time from Bp_sim.Time/Engine and randomness from Bp_util.Rng"
+         name);
+  if
+    List.exists (fun prefix -> String.starts_with ~prefix qual)
+      domain_module_prefixes
+  then
+    report ctx ~rule:"R2-domain" ~loc
+      (Printf.sprintf
+         "%s brings shared-memory parallelism into deterministic code; \
+          multicore primitives (Domain/Atomic/Mutex/Condition) are confined \
+          to lib/parallel — express the work as independent Runner.plan \
+          tasks instead"
          name);
   if List.mem qual hiter_fns then
     report ctx ~rule:"R2-hiter" ~loc

@@ -16,6 +16,10 @@
       [Hashtbl.create ~random:true].
     - [R2-hiter]: order-dependent [Hashtbl.iter]/[Hashtbl.fold] in protocol
       code, where iteration order can leak into protocol state.
+    - [R2-domain]: multicore primitives ([Domain.*], [Atomic.*], [Mutex.*],
+      [Condition.*]) outside [lib/parallel]. Replicas and the simulator are
+      single-domain deterministic; the only shared-memory code allowed is
+      the audited worker pool.
     - [R3-partial]: partial functions ([Option.get], [List.hd], [List.tl],
       [List.nth]) on verification/consensus paths.
     - [R3-catchall]: [try ... with _ ->] catch-alls that turn programming
