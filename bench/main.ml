@@ -15,8 +15,9 @@
      dune exec bench/main.exe -- --json out.json   # also dump bp-bench/2 JSON
      dune exec bench/main.exe -- --jobs 4     # fan experiment tasks over 4 domains
      dune exec bench/main.exe -- -j 1         # strictly sequential (reference)
-     dune exec bench/main.exe -- --json out.json --baseline seq.json
-                                              # also record speedup_vs_seq
+     dune exec bench/main.exe -- --json out.json --baseline base.json
+                                              # also record speedup_vs_baseline
+     dune exec bench/main.exe -- --no-cache   # disable verify/digest caches
      BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep
 
    --jobs defaults to Domain.recommended_domain_count. Parallel runs are
@@ -39,6 +40,14 @@ let scale =
 
 let run_experiment ?pool e =
   Printf.printf "\n";
+  (* Each experiment's wall time must not pay for its predecessors'
+     garbage: the big-payload sweeps leave whole simulated worlds (and
+     their per-node caches) dead on the major heap, and letting the
+     incremental GC reclaim them during the *next* experiment's timed
+     region skews that experiment by hundreds of ms. Collect to a clean
+     slate first — identically in cached and --no-cache runs, so
+     baseline ratios stay honest. *)
+  Gc.compact ();
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun r -> print_string (Bp_harness.Report.render r))
@@ -60,6 +69,8 @@ let run_paper_benches ?pool ~jobs ids =
   Printf.printf "Blockplane (ICDE 2019) - evaluation reproduction\n";
   Printf.printf "scale=%.2f (set BP_BENCH_SCALE to adjust)\n" scale;
   Printf.printf "jobs=%d (--jobs N; results are identical at any N)\n" jobs;
+  Printf.printf "cache=%s (--no-cache to disable; tables are identical either way)\n"
+    (if Bp_crypto.Verify_cache.enabled () then "on" else "off");
   Printf.printf "=====================================================\n";
   List.filter_map
     (fun e ->
@@ -93,6 +104,27 @@ let micro_tests () =
   in
   let encoded_record = Blockplane.Record.encode record in
   let frame = Bp_codec.Frame.seal payload_1k in
+  (* Verification-cache rows. The hit row probes a warmed cache; the miss
+     row pays the full uncached verify plus insertion bookkeeping into a
+     fresh cache; their gap is what each memoized re-verification saves.
+     With --no-cache all three degrade to the uncached computation. *)
+  let vkeystore = Signer.create (Bp_util.Rng.split rng) in
+  let vsigner = "bench/verifier" in
+  Signer.add_identity vkeystore vsigner;
+  let vcache = Verify_cache.create vkeystore in
+  let vsig = Signer.sign vkeystore ~signer:vsigner payload_1k in
+  ignore (Verify_cache.verify vcache ~signer:vsigner ~msg:payload_1k ~signature:vsig);
+  let batch =
+    List.init 16 (fun i ->
+        {
+          Bp_pbft.Msg.client = Bp_sim.Addr.make ~dc:0 ~idx:i;
+          ts = i;
+          kind = 0;
+          op = payload_1k;
+          client_sig = String.make 32 'x';
+        })
+  in
+  let bmemo = Verify_cache.memo () in
   [
     Test.make ~name:"sha256 (1 KiB)"
       (Staged.stage (fun () -> Sha256.digest payload_1k));
@@ -132,6 +164,18 @@ let micro_tests () =
           fun () -> Merkle.root leaves));
     Test.make ~name:"lamport verify"
       (Staged.stage (fun () -> Lamport.verify lamport_pk "msg" lamport_sig));
+    Test.make ~name:"verify hit (1 KiB, cached)"
+      (Staged.stage (fun () ->
+           Verify_cache.verify vcache ~signer:vsigner ~msg:payload_1k
+             ~signature:vsig));
+    Test.make ~name:"verify miss (1 KiB, cold cache)"
+      (Staged.stage (fun () ->
+           let c = Verify_cache.create ~capacity:16 vkeystore in
+           Verify_cache.verify c ~signer:vsigner ~msg:payload_1k ~signature:vsig));
+    Test.make ~name:"batch_digest memo (16 x 1 KiB)"
+      (Staged.stage (fun () ->
+           Bp_crypto.Verify_cache.memoize bmemo batch (fun () ->
+               Bp_pbft.Msg.batch_digest ~cache:vcache batch)));
     Test.make ~name:"record decode (1 KiB recv)"
       (Staged.stage (fun () -> Blockplane.Record.decode encoded_record));
     Test.make ~name:"frame unseal (1 KiB)"
@@ -197,7 +241,7 @@ let run_micro () =
   Printf.printf "%!";
   List.rev !rows
 
-(* ---------- JSON report (schema bp-bench/2) ---------- *)
+(* ---------- JSON report (schema bp-bench/3) ---------- *)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -215,10 +259,11 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* A baseline is a prior --json report from a sequential (-j 1) run. We
-   only need (id, wall_s) pairs, and every experiment line of both
-   bp-bench/1 and bp-bench/2 reports starts with exactly those two
-   fields, so a line-oriented scan is enough — no JSON parser needed. *)
+(* A baseline is a prior --json report to compare against — a sequential
+   run for parallel speedups, or a --no-cache run for cache speedups. We
+   only need (id, wall_s) pairs, and every experiment line of bp-bench/1
+   through /3 reports starts with exactly those two fields, so a
+   line-oriented scan is enough — no JSON parser needed. *)
 let read_baseline path =
   let ic =
     try open_in path
@@ -244,19 +289,29 @@ let write_json path ~jobs ~baseline ~experiments ~micro =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"bp-bench/2\",\n";
+  p "  \"schema\": \"bp-bench/3\",\n";
   p "  \"scale\": %g,\n" scale;
   p "  \"jobs\": %d,\n" jobs;
+  p "  \"cache_enabled\": %b,\n" (Bp_crypto.Verify_cache.enabled ());
+  (let c = Bp_crypto.Verify_cache.counters () in
+   p
+     "  \"cache\": { \"verify_hits\": %d, \"verify_misses\": %d, \
+      \"digest_hits\": %d, \"digest_misses\": %d, \"memo_hits\": %d, \
+      \"memo_misses\": %d },\n"
+     c.Bp_crypto.Verify_cache.verify_hits c.Bp_crypto.Verify_cache.verify_misses
+     c.Bp_crypto.Verify_cache.digest_hits c.Bp_crypto.Verify_cache.digest_misses
+     c.Bp_crypto.Verify_cache.memo_hits c.Bp_crypto.Verify_cache.memo_misses);
   p "  \"experiments\": [";
   List.iteri
     (fun i (id, wall) ->
       p "%s\n    { \"id\": \"%s\", \"wall_s\": %.3f" (if i = 0 then "" else ",")
         (json_escape id) wall;
       (* Sub-millisecond walls (table1 just prints a constant matrix)
-         would make the ratio pure noise; omit the field there. *)
+         would make the ratio pure noise; omit the fields there. *)
       (match List.assoc_opt id baseline with
-      | Some seq_wall when wall > 0.001 && seq_wall > 0.001 ->
-          p ", \"speedup_vs_seq\": %.2f" (seq_wall /. wall)
+      | Some base_wall when wall > 0.001 && base_wall > 0.001 ->
+          p ", \"baseline_wall_s\": %.3f, \"speedup_vs_baseline\": %.2f"
+            base_wall (base_wall /. wall)
       | _ -> ());
       p " }")
     experiments;
@@ -289,6 +344,9 @@ let () =
         baseline_path := Some path;
         parse rest
     | [ "--baseline" ] -> missing "--baseline"
+    | "--no-cache" :: rest ->
+        Bp_crypto.Verify_cache.set_enabled false;
+        parse rest
     | ("--jobs" | "-j") :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 1 ->

@@ -16,6 +16,19 @@ let scale_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
+let no_cache_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the per-node verification/digest caches and \
+           content-addressed signing. Every experiment table is \
+           bit-identical either way; only wall time changes.")
+
+let set_cache no_cache =
+  if no_cache then Bp_crypto.Verify_cache.set_enabled false
+
 let jobs_arg =
   let doc =
     "Number of worker domains to fan independent simulation tasks across. \
@@ -48,8 +61,9 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available experiments")
     Term.(const run $ const ())
 
-let run_experiment id scale jobs verbose =
+let run_experiment id scale jobs verbose no_cache =
   setup_logs verbose;
+  set_cache no_cache;
   match Bp_harness.Experiments.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `blockplane-cli list`\n" id;
@@ -69,11 +83,14 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured table")
-    Term.(const run_experiment $ id_arg $ scale_arg $ jobs_arg $ verbose_arg)
+    Term.(
+      const run_experiment $ id_arg $ scale_arg $ jobs_arg $ verbose_arg
+      $ no_cache_arg)
 
 let all_cmd =
-  let run scale jobs verbose =
+  let run scale jobs verbose no_cache =
     setup_logs verbose;
+    set_cache no_cache;
     with_pool jobs (fun pool ->
         List.iter
           (fun e ->
@@ -84,7 +101,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every table and figure of the evaluation")
-    Term.(const run $ scale_arg $ jobs_arg $ verbose_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ verbose_arg $ no_cache_arg)
 
 let () =
   let info =

@@ -34,7 +34,36 @@ let seal_with enc write =
   Bytes.set_int32_be buf 8 (Bp_crypto.Crc32.bytes buf ~off:overhead ~len:plen);
   Wire.to_string enc
 
-let unseal_prefix buf ~off =
+(* [seal_with] where the payload tail is an already-encoded string with a
+   known checksum: the suffix bytes still land in the frame, but the CRC
+   pass only touches the (typically tiny) prefix and stitches the suffix
+   checksum on with {!Bp_crypto.Crc32.combine}. The emitted frame is bit
+   for bit what [seal_with] would produce; with caching globally disabled
+   the combine shortcut is skipped so [--no-cache] measures the full
+   checksum pass. *)
+let seal_with_suffix enc ~suffix ~suffix_crc write_prefix =
+  Wire.reset enc;
+  Wire.fixed enc magic;
+  Wire.fixed enc header_rest;
+  write_prefix enc;
+  let prefix_len = Wire.length enc - overhead in
+  Wire.fixed enc suffix;
+  let plen = Wire.length enc - overhead in
+  let buf = Wire.unsafe_bytes enc in
+  Bytes.set_int32_be buf 4 (Int32.of_int plen);
+  let crc =
+    if Bp_crypto.Verify_cache.enabled () then
+      Bp_crypto.Crc32.combine
+        (Bp_crypto.Crc32.bytes buf ~off:overhead ~len:prefix_len)
+        suffix_crc (String.length suffix)
+    else Bp_crypto.Crc32.bytes buf ~off:overhead ~len:plen
+  in
+  Bytes.set_int32_be buf 8 crc;
+  Wire.to_string enc
+
+(* Validation without payload extraction: callers that can decode from a
+   window (see {!Wire.decoder_sub}) skip the [String.sub] copy entirely. *)
+let unseal_sub buf ~off =
   if off < 0 || String.length buf - off < overhead then Error `Malformed
   else if
     not
@@ -48,16 +77,19 @@ let unseal_prefix buf ~off =
     if len < 0 || String.length buf - off < overhead + len then Error `Malformed
     else begin
       let crc = String.get_int32_be buf (off + 8) in
-      (* Checksum the payload in place; only a valid frame pays for the
-         payload extraction. *)
+      (* Checksum the payload in place; nothing is copied on any path. *)
       let actual =
         Bp_crypto.Crc32.bytes (Bytes.unsafe_of_string buf) ~off:(off + overhead)
           ~len
       in
-      if actual = crc then Ok (String.sub buf (off + overhead) len, overhead + len)
-      else Error `Corrupt
+      if actual = crc then Ok (off + overhead, len) else Error `Corrupt
     end
   end
+
+let unseal_prefix buf ~off =
+  match unseal_sub buf ~off with
+  | Error _ as e -> e
+  | Ok (poff, plen) -> Ok (String.sub buf poff plen, poff - off + plen)
 
 let unseal frame =
   match unseal_prefix frame ~off:0 with

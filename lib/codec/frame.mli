@@ -29,3 +29,25 @@ val unseal_prefix :
 (** Parse one frame starting at [off] in a longer buffer (e.g. a WAL
     image); on success returns the payload and the total frame length
     consumed. *)
+
+val unseal_sub :
+  string -> off:int -> (int * int, [ `Corrupt | `Malformed ]) result
+(** Like {!unseal_prefix} but without materializing the payload: on
+    success returns [(payload_off, payload_len)] into the original buffer,
+    checksum already validated. Pair with {!Wire.decoder_sub} to decode a
+    received frame with zero payload copies. *)
+
+val seal_with_suffix :
+  Wire.encoder ->
+  suffix:string ->
+  suffix_crc:int32 ->
+  (Wire.encoder -> unit) ->
+  string
+(** [seal_with_suffix enc ~suffix ~suffix_crc write_prefix] is
+    [seal_with enc (fun e -> write_prefix e; Wire.fixed e suffix)] — bit
+    for bit — but checksums only the prefix and stitches on the
+    precomputed [suffix_crc = Crc32.string suffix] with {!Crc32.combine}.
+    Broadcast paths use it to pay one payload-sized CRC pass per
+    broadcast instead of one per destination. When the global
+    {!Bp_crypto.Verify_cache.enabled} flag is off the shortcut is skipped
+    (full checksum pass), keeping [--no-cache] an honest baseline. *)

@@ -96,6 +96,14 @@ exception Malformed of string
 let decoder src =
   { src; bytes = Bytes.unsafe_of_string src; len = String.length src; pos = 0 }
 
+(* A window decoder shares the backing string: [len] is the window's end
+   offset, so [remaining]/[at_end] confine every read to the window while
+   reads index the original bytes directly — no [String.sub] up front. *)
+let decoder_sub src ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length src then
+    invalid_arg "Wire.decoder_sub";
+  { src; bytes = Bytes.unsafe_of_string src; len = off + len; pos = off }
+
 let remaining d = d.len - d.pos
 let at_end d = d.pos >= d.len
 
@@ -139,7 +147,7 @@ let read_bool d =
 
 let read_fixed d n =
   if n < 0 || remaining d < n then fail "fixed: end of input";
-  if n = d.len && d.pos = 0 then begin
+  if n = d.len && d.pos = 0 && d.len = String.length d.src then begin
     (* The read is the entire input: hand back the original string. *)
     d.pos <- n;
     d.src
@@ -165,11 +173,17 @@ let read_list d elt =
 
 let read_option d elt = if read_bool d then Some (elt d) else None
 
-let decode src reader =
-  let d = decoder src in
+let run_reader d reader =
   match reader d with
   | v -> if at_end d then Ok v else Error "trailing bytes"
   | exception Malformed msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let decode src reader = run_reader (decoder src) reader
+
+let decode_sub src ~off ~len reader =
+  match decoder_sub src ~off ~len with
+  | d -> run_reader d reader
   | exception Invalid_argument msg -> Error msg
 
 let encode ?size_hint f =

@@ -52,6 +52,13 @@ val option : encoder -> ('a -> unit) -> 'a option -> unit
 type decoder
 
 val decoder : string -> decoder
+
+val decoder_sub : string -> off:int -> len:int -> decoder
+(** Decoder over the window [off, off+len) of the string, sharing the
+    backing bytes (no copy). Reads are confined to the window; {!at_end}
+    means the window is exhausted.
+    @raise Invalid_argument when the window is out of bounds. *)
+
 val remaining : decoder -> int
 val at_end : decoder -> bool
 
@@ -80,6 +87,11 @@ val read_option : decoder -> (decoder -> 'a) -> 'a option
 
 val decode : string -> (decoder -> 'a) -> ('a, string) result
 (** Run a reader over the whole input; trailing bytes are an error. *)
+
+val decode_sub :
+  string -> off:int -> len:int -> (decoder -> 'a) -> ('a, string) result
+(** {!decode} over a window of the input without materializing it as a
+    separate string; trailing bytes within the window are an error. *)
 
 val encode : ?size_hint:int -> (encoder -> unit) -> string
 (** Convenience: run an encoding function over a fresh encoder. *)

@@ -54,7 +54,10 @@ let create ~network ~pbft_cfg ~participant ~n_participants ~lead_node ~geo =
      intra-DC hop, as in Fig. 3(a)). *)
   let addr = Addr.make ~dc:participant ~idx:90 in
   let transport = Bp_net.Transport.create network addr in
-  let client = Bp_pbft.Client.create transport pbft_cfg in
+  (* The endpoint is its own principal: it gets its own memo, never a
+     replica's (verdict caches must not cross node boundaries). *)
+  let vcache = Bp_crypto.Verify_cache.create pbft_cfg.Bp_pbft.Config.keystore in
+  let client = Bp_pbft.Client.create ~cache:vcache transport pbft_cfg in
   let t =
     {
       participant;

@@ -120,9 +120,14 @@ let on_sign_response t ~dest ~comm_seq ~identity ~signature =
     | Some st when not st.ready ->
         if not (List.mem_assoc identity st.sigs) then begin
           (* Validate before counting: a byzantine node could send junk. *)
-          let statement = Record.transmission_statement st.txn in
+          let vcache = Unit_node.vcache t.node in
+          let statement =
+            Record.transmission_statement
+              ~digest:(Bp_crypto.Verify_cache.digest vcache)
+              st.txn
+          in
           if
-            Bp_crypto.Signer.verify (Unit_node.keystore t.node) ~signer:identity
+            Bp_crypto.Verify_cache.verify vcache ~signer:identity
               ~msg:statement ~signature
           then begin
             st.sigs <- (identity, signature) :: st.sigs;

@@ -56,7 +56,7 @@ module Agent = struct
     respond t duty
 
   let on_request t ~src ~owner ~pos ~value =
-    let digest = Bp_crypto.Sha256.digest value in
+    let digest = Bp_crypto.Verify_cache.digest (Unit_node.vcache t.node) value in
     match Hashtbl.find_opt t.duties (owner, pos) with
     | Some duty ->
         (* Duplicate request (retry): re-answer if complete. *)
@@ -91,8 +91,8 @@ module Agent = struct
             Proto.mirror_statement ~owner ~pos ~digest:duty.digest
           in
           if
-            Bp_crypto.Signer.verify (Unit_node.keystore t.node) ~signer:identity
-              ~msg:statement ~signature
+            Bp_crypto.Verify_cache.verify (Unit_node.vcache t.node)
+              ~signer:identity ~msg:statement ~signature
           then begin
             duty.sigs <- (identity, signature) :: duty.sigs;
             respond t duty
@@ -186,7 +186,7 @@ let on_proof t ~pos ~participant ~sigs =
   | None -> ()
   | Some e ->
       if (not e.proved) && not (List.mem_assoc participant e.bundles) then begin
-        let digest = Bp_crypto.Sha256.digest e.value in
+        let digest = Bp_crypto.Verify_cache.digest (Unit_node.vcache t.node) e.value in
         let statement =
           Proto.mirror_statement ~owner:(Unit_node.participant t.node) ~pos ~digest
         in
@@ -198,7 +198,7 @@ let on_proof t ~pos ~participant ~sigs =
               (not (Hashtbl.mem distinct identity))
               && String.length identity > String.length prefix
               && String.sub identity 0 (String.length prefix) = prefix
-              && Bp_crypto.Signer.verify (Unit_node.keystore t.node)
+              && Bp_crypto.Verify_cache.verify (Unit_node.vcache t.node)
                    ~signer:identity ~msg:statement ~signature
               && begin
                    Hashtbl.add distinct identity ();

@@ -112,12 +112,12 @@ let decode s =
           Mirrored { owner; opos; ovalue }
       | n -> raise (Wire.Malformed (Printf.sprintf "record tag %d" n)))
 
-let transmission_statement t =
+let transmission_statement ?(digest = Bp_crypto.Sha256.digest) t =
   Wire.encode (fun e ->
       Wire.varint e t.src;
       Wire.varint e t.tdest;
       Wire.varint e t.tcomm_seq;
       Wire.varint e t.log_pos;
-      Wire.string e (Bp_crypto.Sha256.digest t.tpayload))
+      Wire.string e (digest t.tpayload))
 
 let strip_proofs t = { t with proofs = []; geo_proofs = [] }

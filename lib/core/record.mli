@@ -45,9 +45,11 @@ val kind_of : t -> kind
 val encode : t -> string
 val decode : string -> (t, string) result
 
-val transmission_statement : transmission -> string
+val transmission_statement : ?digest:(string -> string) -> transmission -> string
 (** The byte string that source-unit nodes sign to attest a transmission
-    record (everything except the proofs themselves). *)
+    record (everything except the proofs themselves). [digest] must compute
+    SHA-256 of its argument; pass {!Bp_crypto.Verify_cache.digest} to reuse
+    a node's memoized payload digest (default: the plain digest). *)
 
 val strip_proofs : transmission -> transmission
 (** Proofs and geo-proofs cleared — the canonical form stored in the

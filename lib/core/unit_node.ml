@@ -16,6 +16,7 @@ type t = {
   fg : int;
   addr : Addr.t;
   transport : Bp_net.Transport.t;
+  vcache : Bp_crypto.Verify_cache.t;
   mutable replica : Bp_pbft.Replica.t option; (* set right after create *)
   client : Bp_pbft.Client.t;
   log : Bp_storage.Log_store.t;
@@ -62,12 +63,13 @@ let set_geo_request_handler t f = t.geo_handler <- Some f
 let mirror_digest t ~owner ~pos = Hashtbl.find_opt t.mirror_index (owner, pos)
 
 let keystore t = t.pbft_cfg.Bp_pbft.Config.keystore
+let vcache t = t.vcache
 
 let sign_mirror t ~owner ~pos ~digest =
   match mirror_digest t ~owner ~pos with
   | Some d when String.equal d digest ->
       Some
-        (Bp_crypto.Signer.sign (keystore t) ~signer:(identity t)
+        (Bp_crypto.Verify_cache.sign t.vcache ~signer:(identity t)
            (Proto.mirror_statement ~owner ~pos ~digest))
   | _ -> None
 
@@ -86,7 +88,7 @@ let valid_sig_bundle t ~from_participant ~statement ~needed sigs =
                      && String.sub identity 0 (String.length prefix) = prefix)
         then acc
         else if
-          Bp_crypto.Signer.verify (keystore t) ~signer:identity ~msg:statement
+          Bp_crypto.Verify_cache.verify t.vcache ~signer:identity ~msg:statement
             ~signature
         then begin
           Hashtbl.add seen identity ();
@@ -106,7 +108,10 @@ let verify_transmission t (tr : Record.transmission) =
   && tr.Record.src <> t.participant
   (* (1) fi+1 signatures from the source unit over the statement *)
   && valid_sig_bundle t ~from_participant:tr.Record.src
-       ~statement:(Record.transmission_statement tr)
+       ~statement:
+         (Record.transmission_statement
+            ~digest:(Bp_crypto.Verify_cache.digest t.vcache)
+            tr)
        ~needed:(fi t + 1) tr.Record.proofs
   (* (2) not received before and (3) no gap: strictly the next one *)
   && tr.Record.tcomm_seq = t.last_received.(tr.Record.src) + 1
@@ -123,7 +128,7 @@ let verify_transmission t (tr : Record.transmission) =
                       (Proto.mirror_statement ~owner:tr.Record.src
                          ~pos:tr.Record.log_pos
                          ~digest:
-                           (Bp_crypto.Sha256.digest
+                           (Bp_crypto.Verify_cache.digest t.vcache
                               (Record.encode
                                  (Record.Comm
                                     {
@@ -272,7 +277,7 @@ let execute t ~seq:_ (r : Bp_pbft.Msg.request) =
           pump_receive t src
       | Record.Mirrored { owner; opos; ovalue } ->
           Hashtbl.replace t.mirror_index (owner, opos)
-            (Bp_crypto.Sha256.digest ovalue)
+            (Bp_crypto.Verify_cache.digest t.vcache ovalue)
       | Record.Commit _ | Record.Comm _ -> ());
       List.iter (fun hook -> hook ~pos record) t.executed_hooks;
       string_of_int pos
@@ -294,8 +299,12 @@ let sign_transmission t (tr : Record.transmission) =
         | _ -> false)
   in
   if ok then begin
-    let statement = Record.transmission_statement tr in
-    Some (identity t, Bp_crypto.Signer.sign (keystore t) ~signer:(identity t) statement)
+    let statement =
+      Record.transmission_statement
+        ~digest:(Bp_crypto.Verify_cache.digest t.vcache)
+        tr
+    in
+    Some (identity t, Bp_crypto.Verify_cache.sign t.vcache ~signer:(identity t) statement)
   end
   else None
 
@@ -363,7 +372,10 @@ let on_aux t ~src payload =
 let create ~network ~pbft_cfg ~participant ~n_participants ~node_idx ~fg ~app =
   let addr = pbft_cfg.Bp_pbft.Config.nodes.(node_idx) in
   let transport = Bp_net.Transport.create network addr in
-  let client = Bp_pbft.Client.create transport pbft_cfg in
+  let vcache =
+    Bp_crypto.Verify_cache.create pbft_cfg.Bp_pbft.Config.keystore
+  in
+  let client = Bp_pbft.Client.create ~cache:vcache transport pbft_cfg in
   let t =
     {
       net = network;
@@ -374,6 +386,7 @@ let create ~network ~pbft_cfg ~participant ~n_participants ~node_idx ~fg ~app =
       fg;
       addr;
       transport;
+      vcache;
       replica = None;
       client;
       log = Bp_storage.Log_store.create ();
@@ -392,7 +405,7 @@ let create ~network ~pbft_cfg ~participant ~n_participants ~node_idx ~fg ~app =
     }
   in
   let replica =
-    Bp_pbft.Replica.create transport pbft_cfg ~id:node_idx
+    Bp_pbft.Replica.create ~cache:vcache transport pbft_cfg ~id:node_idx
       ~execute:(fun ~seq r -> execute t ~seq r)
       ()
   in

@@ -25,6 +25,12 @@ val peers : t -> Bp_sim.Addr.t array
 
 val fi : t -> int
 val keystore : t -> Bp_crypto.Signer.t
+
+val vcache : t -> Bp_crypto.Verify_cache.t
+(** The node's verification/digest memo (see {!Bp_crypto.Verify_cache}).
+    Strictly per-node: sharing it across nodes would let one node's
+    verdicts stand in for another's. *)
+
 val transport : t -> Bp_net.Transport.t
 val replica : t -> Bp_pbft.Replica.t
 val participant : t -> int

@@ -74,3 +74,58 @@ let update crc buf ~off ~len =
 let bytes buf ~off ~len = update empty buf ~off ~len
 
 let string s = bytes (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+(* CRC combination over GF(2): crc(A ++ B) from crc(A), crc(B) and |B|.
+   Shifting crc(A) through |B| zero bytes is a linear map, represented as
+   a 32x32 bit matrix; squaring the "shift one zero byte * 2^k" matrices
+   walks the bits of |B|. This is the classic zlib crc32_combine
+   construction, valid here because the checksum above uses zlib's exact
+   reflected polynomial, init and final xor. *)
+
+let gf2_times mat vec =
+  let sum = ref 0 and v = ref vec and n = ref 0 in
+  while !v <> 0 do
+    if !v land 1 <> 0 then sum := !sum lxor Array.unsafe_get mat !n;
+    v := !v lsr 1;
+    incr n
+  done;
+  !sum
+
+let gf2_square sq mat =
+  for n = 0 to 31 do
+    sq.(n) <- gf2_times mat mat.(n)
+  done
+
+let combine crc1 crc2 len2 =
+  if len2 <= 0 then crc1
+  else begin
+    let even = Array.make 32 0 and odd = Array.make 32 0 in
+    (* odd = the operator "apply one zero byte": polynomial row then the
+       32 single-bit shift rows. *)
+    odd.(0) <- 0xedb88320;
+    let row = ref 1 in
+    for n = 1 to 31 do
+      odd.(n) <- !row;
+      row := !row lsl 1
+    done;
+    (* even = zeros^2, odd = zeros^4: the loop below starts at zeros^8,
+       one squaring per bit of len2. *)
+    gf2_square even odd;
+    gf2_square odd even;
+    let crc = ref (Int32.to_int crc1 land 0xffffffff) in
+    let len = ref len2 in
+    let running = ref true in
+    while !running do
+      gf2_square even odd;
+      if !len land 1 <> 0 then crc := gf2_times even !crc;
+      len := !len lsr 1;
+      if !len = 0 then running := false
+      else begin
+        gf2_square odd even;
+        if !len land 1 <> 0 then crc := gf2_times odd !crc;
+        len := !len lsr 1;
+        if !len = 0 then running := false
+      end
+    done;
+    Int32.of_int ((!crc lxor (Int32.to_int crc2 land 0xffffffff)) land 0xffffffff)
+  end

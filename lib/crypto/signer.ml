@@ -13,18 +13,22 @@ type t = {
   scheme : scheme;
   rng : Bp_util.Rng.t;
   identities : (string, identity) Hashtbl.t;
+  mutable generation : int;
 }
 
-let create ?(scheme = `Hmac) rng = { scheme; rng; identities = Hashtbl.create 64 }
+let create ?(scheme = `Hmac) rng =
+  { scheme; rng; identities = Hashtbl.create 64; generation = 0 }
 
 let scheme t = t.scheme
+
+let generation t = t.generation
 
 (* 64 one-time keys per pool; pools are rolled over transparently when
    exhausted, modelling key rotation. *)
 let pool_height = 6
 
 let add_identity t id =
-  if not (Hashtbl.mem t.identities id) then
+  if not (Hashtbl.mem t.identities id) then begin
     let entry =
       match t.scheme with
       | `Hmac -> Hmac_secret (Bytes.to_string (Bp_util.Rng.bytes t.rng 32))
@@ -32,7 +36,9 @@ let add_identity t id =
           let signer, root = Merkle_sig.keygen ~height:pool_height t.rng in
           Hash_keys { current = signer; roots = [ root ] }
     in
-    Hashtbl.add t.identities id entry
+    Hashtbl.add t.identities id entry;
+    t.generation <- t.generation + 1
+  end
 
 let sign t ~signer msg =
   match Hashtbl.find t.identities signer with
@@ -41,7 +47,8 @@ let sign t ~signer msg =
       if Merkle_sig.capacity keys.current = 0 then begin
         let fresh, root = Merkle_sig.keygen ~height:pool_height t.rng in
         keys.current <- fresh;
-        keys.roots <- root :: keys.roots
+        keys.roots <- root :: keys.roots;
+        t.generation <- t.generation + 1
       end;
       Merkle_sig.encode (Merkle_sig.sign keys.current msg)
 

@@ -35,5 +35,12 @@ val sign : t -> signer:string -> string -> string
 val verify : t -> signer:string -> msg:string -> signature:string -> bool
 (** [false] for unknown identities or invalid signatures (never raises). *)
 
+val generation : t -> int
+(** Monotone counter bumped whenever the keystore's verification state
+    changes: a new identity is provisioned, or a [`Hash_based] one-time
+    key pool rolls over (publishing a new root). [Verify_cache] stamps
+    every memoized verdict with the generation it was computed under, so a
+    cached verdict never outlives the keystore state that produced it. *)
+
 val signature_overhead : t -> int
 (** Nominal wire size in bytes of one signature, for cost accounting. *)

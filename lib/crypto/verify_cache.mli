@@ -1,0 +1,96 @@
+(** Per-node memoization of signature verification and content digests.
+
+    PBFT's receive path re-verifies the same envelope signature and
+    re-digests the same request batch many times per slot (prepare,
+    commit, checkpoint, view-change proofs). This module memoizes those
+    verdicts and digests {e per node} — a cache only ever replays work its
+    own node performed (or, via {!sign}, the outcome the signer knows by
+    construction), so it is an accelerator, never an oracle.
+
+    Soundness invariant: {b a cached verdict never outlives the keystore
+    state that produced it}. Entries are stamped with
+    {!Signer.generation}; provisioning an identity or rolling a
+    hash-based key pool bumps the generation and invalidates every older
+    verdict.
+
+    Everything is deterministic: FIFO eviction, no wall-clock, no
+    randomness. With the global flag {!set_enabled} off, every call
+    degrades to the exact uncached computation. *)
+
+type t
+
+val create : ?capacity:int -> ?digest_budget:int -> Signer.t -> t
+(** [capacity] bounds the verdict table (entries, FIFO-evicted; default
+    4096). [digest_budget] bounds the digest memo by the bytes of content
+    it keeps alive (default 8 MiB — enough for the operations still in
+    flight; a bigger window would mostly pin dead content on the major
+    heap). *)
+
+val keystore : t -> Signer.t
+
+val verify : t -> signer:string -> msg:string -> signature:string -> bool
+(** Memoized {!Signer.verify}: same verdicts, bit for bit. Keyed by
+    [(signer, signature)] with the stored message compared on every probe,
+    so colliding or tampered inputs recompute rather than cross-talk. *)
+
+val sign : t -> signer:string -> string -> string
+(** {!Signer.sign}, additionally seeding the cache with the (known-true)
+    verdict so a node's own loopback deliveries verify for free.
+    @raise Not_found like {!Signer.sign} for unregistered identities. *)
+
+val verify_uncached :
+  Signer.t -> signer:string -> msg:string -> signature:string -> bool
+(** Raw pass-through to {!Signer.verify}, for callers that have no cache
+    in scope. Outside [lib/crypto] this is the only sanctioned spelling of
+    a direct verification (lint rule R5-rawverify). *)
+
+val digest : t -> string -> string
+(** Memoized {!Sha256.digest}. Probes by physical identity first, then by
+    content (a fingerprint of length plus first/last 64 bytes narrows the
+    candidates before any full comparison), so re-decoded copies of the
+    same megabyte operation hash once per node. Strings under 256 bytes
+    are hashed directly without touching the memo: at that size the probe
+    costs as much as the hash, and unique small strings would only pile
+    up never-hit entries for the GC to trace. *)
+
+(** {1 Generic bounded memo}
+
+    A tiny physical-identity memo for values that are reused as-is (e.g. a
+    replica's current batch list threaded through prepare/commit). *)
+
+type 'a memo
+
+val memo : ?capacity:int -> unit -> 'a memo
+(** Bounded association list, newest first (default capacity 8). *)
+
+val memoize : 'a memo -> 'a -> (unit -> string) -> string
+(** [memoize m key f] returns the memoized value for [key] (compared with
+    physical equality) or computes, stores and returns [f ()]. With the
+    cache globally disabled it always computes. *)
+
+(** {1 Global mode switch} *)
+
+val set_enabled : bool -> unit
+(** Content-addressed signing (see {!Bp_pbft.Msg}) changes which bytes get
+    signed, so the whole process must agree on the mode: it is keyed off
+    this single flag, never off whether a caller holds a cache. Flip it
+    once at startup ([--no-cache] in the bench and CLI), not
+    mid-simulation. Default: enabled. *)
+
+val enabled : unit -> bool
+
+(** {1 Diagnostics} *)
+
+type counters = {
+  verify_hits : int;
+  verify_misses : int;
+  digest_hits : int;
+  digest_misses : int;
+  memo_hits : int;
+  memo_misses : int;
+}
+
+val counters : unit -> counters
+(** Process-global tallies (exact at [-j 1]; see implementation note). *)
+
+val reset_counters : unit -> unit

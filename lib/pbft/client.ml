@@ -14,6 +14,7 @@ type t = {
   cfg : Config.t;
   transport : Bp_net.Transport.t;
   engine : Engine.t;
+  cache : Bp_crypto.Verify_cache.t option;
   mutable next_ts : int;
   mutable view_estimate : int;
   mutable pending : pending Int_map.t; (* keyed by ts *)
@@ -25,11 +26,15 @@ let send_to_primary t request =
   let primary = Config.primary_of_view t.cfg t.view_estimate in
   Bp_net.Transport.send t.transport ~dst:t.cfg.Config.nodes.(primary)
     ~tag:t.cfg.Config.tag
-    (Msg.seal t.cfg ~sender:(Bp_net.Transport.addr t.transport) (Msg.Request request))
+    (Msg.seal ?cache:t.cache t.cfg
+       ~sender:(Bp_net.Transport.addr t.transport)
+       (Msg.Request request))
 
 let broadcast_request t request =
   let sealed =
-    Msg.seal t.cfg ~sender:(Bp_net.Transport.addr t.transport) (Msg.Request request)
+    Msg.seal ?cache:t.cache t.cfg
+      ~sender:(Bp_net.Transport.addr t.transport)
+      (Msg.Request request)
   in
   Bp_net.Transport.broadcast t.transport ~dsts:t.cfg.Config.nodes
     ~tag:t.cfg.Config.tag sealed
@@ -69,14 +74,22 @@ let on_reply t body =
       | _ -> ())
   | _ -> ()
 
-let create transport cfg =
+let create ?cache transport cfg =
   let engine = Network.engine (Bp_net.Transport.network transport) in
   let t =
-    { cfg; transport; engine; next_ts = 1; view_estimate = 0; pending = Int_map.empty }
+    {
+      cfg;
+      transport;
+      engine;
+      cache;
+      next_ts = 1;
+      view_estimate = 0;
+      pending = Int_map.empty;
+    }
   in
   Bp_net.Transport.set_handler transport ~tag:(cfg.Config.tag ^ ".reply")
     (fun ~src:_ payload ->
-      match Msg.verify_envelope cfg payload with
+      match Msg.verify_envelope ?cache cfg payload with
       | Ok body -> on_reply t body
       | Error _ -> ());
   t
@@ -85,7 +98,9 @@ let submit t ?(kind = 0) op ~on_result =
   let ts = t.next_ts in
   t.next_ts <- ts + 1;
   let request =
-    Msg.make_request t.cfg ~client:(Bp_net.Transport.addr t.transport) ~ts ~kind ~op
+    Msg.make_request ?cache:t.cache t.cfg
+      ~client:(Bp_net.Transport.addr t.transport)
+      ~ts ~kind ~op
   in
   let p = { request; replies = []; done_ = false; timer = None; on_result } in
   t.pending <- Int_map.add ts p t.pending;

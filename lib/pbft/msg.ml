@@ -61,12 +61,58 @@ let decode_addr d =
   let idx = Wire.read_varint d in
   Bp_sim.Addr.make ~dc ~idx
 
-let request_signing_payload ~client ~ts ~kind ~op =
-  Wire.encode (fun e ->
-      encode_addr e client;
-      Wire.varint e ts;
-      Wire.u8 e kind;
-      Wire.string e op)
+(* ---------- content-addressed signing payloads ----------
+
+   With the global {!Bp_crypto.Verify_cache.enabled} flag on (the
+   default), signatures over bulky messages cover a *content-addressed*
+   payload: the structural encoding with every client operation replaced
+   by its SHA-256 digest (and, for New_view, each carried view-change
+   envelope replaced by its digest). This is PBFT's classic
+   digest-amortization — the MAC/signature pass touches kilobytes instead
+   of megabytes, while binding exactly the same semantic content, since
+   SHA-256 pins the op bytes. The mode is keyed off the one global flag,
+   never off whether a caller holds a cache, so every signer and verifier
+   in a process agrees byte-for-byte on what was signed; a per-call
+   [?cache] only memoizes the digests and verdicts.
+
+   Domain separation: content-addressed body payloads start with byte
+   0xCA and request payloads with 0xCB, neither of which is a valid body
+   tag (0..9), so a signature over one payload shape can never be replayed
+   as another. Small-bodied messages (Prepare, Commit, Reply, Checkpoint,
+   Fetch) keep signing their exact encoding — there is nothing to
+   amortize, and view-change proof checking can reconstruct their signed
+   bytes without any op in hand. *)
+
+let digest_op cache op =
+  match cache with
+  | Some c -> Bp_crypto.Verify_cache.digest c op
+  | None -> Bp_crypto.Sha256.digest op
+
+(* Digest amortization only pays for itself when the content it would
+   digest is big enough that one SHA-256 pass (memoized per node)
+   undercuts MAC-ing the raw bytes on every verification. Below the
+   cutoff the CA transform is pure overhead — an extra encoding pass and
+   an extra hash per message — which matters for latency experiments
+   whose operations are a handful of bytes. The weight is a pure function
+   of the message's content, so every signer and verifier derives the
+   same mode for the same message; the cutoff never changes what travels
+   on the wire, only which bytes the signature covers. *)
+let ca_min_bytes = 256
+
+let request_signing_payload ?cache ~client ~ts ~kind ~op () =
+  if Bp_crypto.Verify_cache.enabled () && String.length op >= ca_min_bytes then
+    Wire.encode (fun e ->
+        Wire.u8 e 0xCB;
+        encode_addr e client;
+        Wire.varint e ts;
+        Wire.u8 e kind;
+        Wire.string e (digest_op cache op))
+  else
+    Wire.encode (fun e ->
+        encode_addr e client;
+        Wire.varint e ts;
+        Wire.u8 e kind;
+        Wire.string e op)
 
 let encode_request e r =
   encode_addr e r.client;
@@ -107,9 +153,8 @@ let decode_proof d =
   in
   { pview; pseq; pdigest; pbatch; prepare_sigs }
 
-let encode_body body =
-  Wire.encode (fun e ->
-      match body with
+let encode_body_into e body =
+  (match body with
       | Request r ->
           Wire.u8 e 0;
           encode_request e r
@@ -174,6 +219,8 @@ let encode_body body =
               Wire.list e (encode_request e) batch)
             batches;
           Wire.varint e replica)
+
+let encode_body body = Wire.encode (fun e -> encode_body_into e body)
 
 let decode_body s =
   Wire.decode s (fun d ->
@@ -246,26 +293,118 @@ let decode_body s =
 
 (* ---------- signatures ---------- *)
 
-let make_request cfg ~client ~ts ~kind ~op =
-  let payload = request_signing_payload ~client ~ts ~kind ~op in
+(* Content-addressed image of a request / proof / body: ops (and carried
+   envelopes) replaced by their digests. Only the bulky constructors are
+   transformed; the small ones sign their exact encoding. *)
+
+let ca_request cache r = { r with op = digest_op cache r.op }
+
+let ca_proof cache p = { p with pbatch = List.map (ca_request cache) p.pbatch }
+
+let ca_batches cache batches =
+  List.map
+    (fun (seq, digest, batch) -> (seq, digest, List.map (ca_request cache) batch))
+    batches
+
+let ca_body cache = function
+  | Request r -> Request (ca_request cache r)
+  | Pre_prepare { view; seq; digest; batch } ->
+      Pre_prepare { view; seq; digest; batch = List.map (ca_request cache) batch }
+  | View_change { new_view; stable_seq; stable_digest; prepared; vc_replica } ->
+      View_change
+        {
+          new_view;
+          stable_seq;
+          stable_digest;
+          prepared = List.map (ca_proof cache) prepared;
+          vc_replica;
+        }
+  | New_view { view; view_change_envelopes; batches; replica } ->
+      New_view
+        {
+          view;
+          view_change_envelopes = List.map (digest_op cache) view_change_envelopes;
+          batches = ca_batches cache batches;
+          replica;
+        }
+  | Fetch_reply { batches; replica } ->
+      Fetch_reply { batches = ca_batches cache batches; replica }
+  | (Prepare _ | Commit _ | Reply _ | Checkpoint _ | Fetch _) as small -> small
+
+(* Bulk weight of a body: the bytes the CA transform would digest away.
+   Bodies at or above {!ca_min_bytes} sign the content-addressed payload;
+   lighter ones sign their exact encoding, exactly as in [--no-cache]
+   mode. *)
+let batch_weight batch =
+  List.fold_left (fun acc r -> acc + String.length r.op) 0 batch
+
+let batches_weight batches =
+  List.fold_left (fun acc (_, _, batch) -> acc + batch_weight batch) 0 batches
+
+let bulk_weight = function
+  | Request r -> String.length r.op
+  | Pre_prepare { batch; _ } -> batch_weight batch
+  | View_change { prepared; _ } ->
+      List.fold_left (fun acc p -> acc + batch_weight p.pbatch) 0 prepared
+  | New_view { view_change_envelopes; batches; _ } ->
+      List.fold_left
+        (fun acc env -> acc + String.length env)
+        (batches_weight batches) view_change_envelopes
+  | Fetch_reply { batches; _ } -> batches_weight batches
+  | Prepare _ | Commit _ | Reply _ | Checkpoint _ | Fetch _ -> 0
+
+let content_addressed body =
+  Bp_crypto.Verify_cache.enabled () && bulk_weight body >= ca_min_bytes
+
+(* The bytes a body's envelope signature covers. [encoded] is the body's
+   wire encoding (always computed — it is what travels). The
+   content-addressed payload is built on an uncounted raw encoder: it is
+   derived bookkeeping, not a message serialization, and must not perturb
+   the encode-once accounting that {!Wire.encode_calls} tests pin. *)
+let signing_payload ?cache ~encoded body =
+  if content_addressed body then begin
+    let e = Wire.encoder ~size_hint:512 () in
+    Wire.u8 e 0xCA;
+    encode_body_into e (ca_body cache body);
+    Wire.to_string e
+  end
+  else encoded
+
+let make_request ?cache cfg ~client ~ts ~kind ~op =
+  let payload = request_signing_payload ?cache ~client ~ts ~kind ~op () in
   let identity = Config.identity cfg client in
   let client_sig =
-    Bp_crypto.Signer.sign cfg.Config.keystore ~signer:identity payload
+    match cache with
+    | Some c -> Bp_crypto.Verify_cache.sign c ~signer:identity payload
+    | None -> Bp_crypto.Signer.sign cfg.Config.keystore ~signer:identity payload
   in
   { client; ts; kind; op; client_sig }
 
-let request_valid cfg r =
+let request_valid ?cache cfg r =
   let payload =
-    request_signing_payload ~client:r.client ~ts:r.ts ~kind:r.kind ~op:r.op
+    request_signing_payload ?cache ~client:r.client ~ts:r.ts ~kind:r.kind
+      ~op:r.op ()
   in
-  Bp_crypto.Signer.verify cfg.Config.keystore
-    ~signer:(Config.identity cfg r.client)
-    ~msg:payload ~signature:r.client_sig
+  let signer = Config.identity cfg r.client in
+  match cache with
+  | Some c ->
+      Bp_crypto.Verify_cache.verify c ~signer ~msg:payload
+        ~signature:r.client_sig
+  | None ->
+      Bp_crypto.Verify_cache.verify_uncached cfg.Config.keystore ~signer
+        ~msg:payload ~signature:r.client_sig
 
-let batch_digest batch =
+let batch_digest ?cache batch =
   let ctx = Bp_crypto.Sha256.init () in
+  let image =
+    if Bp_crypto.Verify_cache.enabled () && batch_weight batch >= ca_min_bytes
+    then fun r -> ca_request cache r
+    else fun r -> r
+  in
   List.iter
-    (fun r -> Bp_crypto.Sha256.update ctx (Wire.encode (fun e -> encode_request e r)))
+    (fun r ->
+      Bp_crypto.Sha256.update ctx
+        (Wire.encode (fun e -> encode_request e (image r))))
     batch;
   Bp_crypto.Sha256.finalize ctx
 
@@ -285,12 +424,14 @@ let sender_of cfg = function
         Some cfg.Config.nodes.(replica)
       else None
 
-let seal cfg ~sender body =
+let seal ?cache cfg ~sender body =
   let encoded = encode_body body in
+  let payload = signing_payload ?cache ~encoded body in
+  let signer = Config.identity cfg sender in
   let signature =
-    Bp_crypto.Signer.sign cfg.Config.keystore
-      ~signer:(Config.identity cfg sender)
-      encoded
+    match cache with
+    | Some c -> Bp_crypto.Verify_cache.sign c ~signer payload
+    | None -> Bp_crypto.Signer.sign cfg.Config.keystore ~signer payload
   in
   Wire.encode (fun e ->
       Wire.string e encoded;
@@ -303,7 +444,7 @@ let seal_forged cfg ~sender body =
       Wire.string e encoded;
       Wire.string e (String.make 32 '\x00'))
 
-let open_envelope cfg ~claimed s =
+let open_envelope ?cache cfg ~claimed s =
   match
     Wire.decode s (fun d ->
         let encoded = Wire.read_string d in
@@ -318,11 +459,18 @@ let open_envelope cfg ~claimed s =
           match claimed body with
           | None -> Error "no sender identity"
           | Some sender ->
-              if
-                Bp_crypto.Signer.verify cfg.Config.keystore
-                  ~signer:(Config.identity cfg sender)
-                  ~msg:encoded ~signature
-              then Ok body
-              else Error "bad signature"))
+              let payload = signing_payload ?cache ~encoded body in
+              let signer = Config.identity cfg sender in
+              let ok =
+                match cache with
+                | Some c ->
+                    Bp_crypto.Verify_cache.verify c ~signer ~msg:payload
+                      ~signature
+                | None ->
+                    Bp_crypto.Verify_cache.verify_uncached cfg.Config.keystore
+                      ~signer ~msg:payload ~signature
+              in
+              if ok then Ok body else Error "bad signature"))
 
-let verify_envelope cfg s = open_envelope cfg ~claimed:(sender_of cfg) s
+let verify_envelope ?cache cfg s =
+  open_envelope ?cache cfg ~claimed:(sender_of cfg) s

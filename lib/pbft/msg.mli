@@ -62,18 +62,50 @@ type body =
       replica : int;
     }
 
+(** {1 Content-addressed signing}
+
+    With the global {!Bp_crypto.Verify_cache.enabled} flag on (the
+    default), signatures over bulky messages (Request, Pre_prepare,
+    View_change, New_view, Fetch_reply) cover a {e content-addressed}
+    payload — the structural encoding with each client operation (and each
+    carried view-change envelope) replaced by its SHA-256 digest — so the
+    signature pass touches kilobytes instead of megabytes while binding
+    the same content. Small messages sign their exact encoding in both
+    modes, as do bulky constructors whose content weighs under a fixed
+    cutoff (256 bytes) — below it the transform saves nothing and the
+    extra encoding pass and hash would tax tiny-operation workloads. The
+    cutoff is a pure function of the message, so all parties agree on the
+    mode. The mode is otherwise decided by the single global flag, never by whether
+    a caller passes [?cache]: a cache only memoizes digests and verdicts
+    (per node), so passing or omitting it can never change any produced
+    byte or verdict — only how fast they come back. *)
+
 val make_request :
-  Config.t -> client:Bp_sim.Addr.t -> ts:int -> kind:int -> op:string -> request
+  ?cache:Bp_crypto.Verify_cache.t ->
+  Config.t ->
+  client:Bp_sim.Addr.t ->
+  ts:int ->
+  kind:int ->
+  op:string ->
+  request
 (** Builds and client-signs a request. *)
 
-val request_valid : Config.t -> request -> bool
+val request_valid : ?cache:Bp_crypto.Verify_cache.t -> Config.t -> request -> bool
 
-val batch_digest : request list -> string
+val batch_digest : ?cache:Bp_crypto.Verify_cache.t -> request list -> string
+(** Digest of a batch proposal. In content-addressed mode this hashes the
+    requests' content-addressed images (same value for the same batch
+    whether or not a cache is supplied). *)
 
 val encode_body : body -> string
 val decode_body : string -> (body, string) result
 
-val seal : Config.t -> sender:Bp_sim.Addr.t -> body -> string
+val seal :
+  ?cache:Bp_crypto.Verify_cache.t ->
+  Config.t ->
+  sender:Bp_sim.Addr.t ->
+  body ->
+  string
 (** Sign with [sender]'s identity and wrap into an envelope. *)
 
 val seal_forged : Config.t -> sender:Bp_sim.Addr.t -> body -> string
@@ -81,12 +113,17 @@ val seal_forged : Config.t -> sender:Bp_sim.Addr.t -> body -> string
     cannot actually sign for the identity it impersonates). *)
 
 val open_envelope :
-  Config.t -> claimed:(body -> Bp_sim.Addr.t option) -> string -> (body, string) result
+  ?cache:Bp_crypto.Verify_cache.t ->
+  Config.t ->
+  claimed:(body -> Bp_sim.Addr.t option) ->
+  string ->
+  (body, string) result
 (** Decode and verify: [claimed] maps the decoded body to the address
     whose signature must check (normally {!sender_of}). *)
 
 val sender_of : Config.t -> body -> Bp_sim.Addr.t option
 (** The address implied by the body's replica index / client field. *)
 
-val verify_envelope : Config.t -> string -> (body, string) result
+val verify_envelope :
+  ?cache:Bp_crypto.Verify_cache.t -> Config.t -> string -> (body, string) result
 (** [open_envelope] with [claimed = sender_of config]. *)

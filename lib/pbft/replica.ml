@@ -32,6 +32,8 @@ type t = {
   id : int;
   transport : Bp_net.Transport.t;
   engine : Engine.t;
+  cache : Bp_crypto.Verify_cache.t option; (* per-node memoization *)
+  batch_memo : Msg.request list Bp_crypto.Verify_cache.memo;
   execute : seq:int -> Msg.request -> string;
   mutable on_executed : seq:int -> Msg.request list -> unit;
   mutable verifier : kind:int -> op:string -> bool;
@@ -103,9 +105,16 @@ let batches_equal a b =
 let broadcast t body =
   (* Seal once, serialize the transport suffix once: the whole broadcast
      encodes the message exactly one time regardless of cluster size. *)
-  let sealed = Msg.seal t.cfg ~sender:(self_addr t) body in
+  let sealed = Msg.seal ?cache:t.cache t.cfg ~sender:(self_addr t) body in
   Bp_net.Transport.broadcast t.transport ~dsts:t.cfg.Config.nodes
     ~tag:t.cfg.Config.tag sealed
+
+(* Hash-consed slot digests: a batch list the replica already holds (its
+   own proposal, an accepted pre-prepare, prepared-proof material) is
+   digested once and looked up by physical identity afterwards. *)
+let digest_of_batch t batch =
+  Bp_crypto.Verify_cache.memoize t.batch_memo batch (fun () ->
+      Msg.batch_digest ?cache:t.cache batch)
 
 let reply_tag cfg = cfg.Config.tag ^ ".reply"
 
@@ -114,7 +123,7 @@ let send_reply t (r : Msg.request) result =
     Msg.Reply
       { view = t.view; ts = r.Msg.ts; client = r.Msg.client; replica = t.id; result }
   in
-  let sealed = Msg.seal t.cfg ~sender:(self_addr t) body in
+  let sealed = Msg.seal ?cache:t.cache t.cfg ~sender:(self_addr t) body in
   Hashtbl.replace t.last_reply (client_key r.Msg.client) (r.Msg.ts, sealed);
   Bp_net.Transport.send t.transport ~dst:r.Msg.client ~tag:(reply_tag t.cfg) sealed
 
@@ -218,7 +227,7 @@ let rec move_to_view t target =
         }
     in
     (* Record our own view-change message. *)
-    let sealed = Msg.seal t.cfg ~sender:(self_addr t) body in
+    let sealed = Msg.seal ?cache:t.cache t.cfg ~sender:(self_addr t) body in
     record_view_change t target t.id sealed;
     broadcast t body;
     (match t.vc_timer with Some timer -> Engine.cancel timer | None -> ());
@@ -244,7 +253,7 @@ and maybe_new_view t target =
   if Config.primary_of_view t.cfg target = t.id && target > t.view then begin
     let vcs = Option.value ~default:[] (Int_map.find_opt target t.view_changes) in
     if List.length vcs >= Config.quorum t.cfg then begin
-      match compute_new_view_batches t.cfg (List.map snd vcs) with
+      match compute_new_view_batches ?cache:t.cache t.cfg (List.map snd vcs) with
       | None -> ()
       | Some batches ->
           let body =
@@ -261,13 +270,13 @@ and maybe_new_view t target =
     end
   end
 
-and verified_view_changes cfg target envelopes =
+and verified_view_changes ?cache cfg target envelopes =
   (* Returns (replica, View_change fields) for envelopes that verify and
      target the right view, at most one per replica. *)
   let seen = Hashtbl.create 8 in
   List.filter_map
     (fun env ->
-      match Msg.verify_envelope cfg env with
+      match Msg.verify_envelope ?cache cfg env with
       | Ok (Msg.View_change vc) when vc.Msg.new_view = target ->
           if Hashtbl.mem seen vc.Msg.vc_replica then None
           else begin
@@ -277,11 +286,12 @@ and verified_view_changes cfg target envelopes =
       | _ -> None)
     envelopes
 
-and proof_valid cfg (p : Msg.prepared_proof) =
-  String.equal p.Msg.pdigest (Msg.batch_digest p.Msg.pbatch)
+and proof_valid ?cache cfg (p : Msg.prepared_proof) =
+  String.equal p.Msg.pdigest (Msg.batch_digest ?cache p.Msg.pbatch)
   && begin
        (* 2f distinct, valid prepare signatures over the reconstructed
-          prepare body. *)
+          prepare body. Prepare is a small-bodied message, so its signed
+          bytes are its exact encoding in both signing modes. *)
        let distinct = Hashtbl.create 8 in
        let valid =
          List.filter
@@ -299,10 +309,15 @@ and proof_valid cfg (p : Msg.prepared_proof) =
                         replica;
                       })
                in
+               let signer = Config.identity cfg cfg.Config.nodes.(replica) in
                let ok =
-                 Bp_crypto.Signer.verify cfg.Config.keystore
-                   ~signer:(Config.identity cfg cfg.Config.nodes.(replica))
-                   ~msg:body ~signature
+                 match cache with
+                 | Some c ->
+                     Bp_crypto.Verify_cache.verify c ~signer ~msg:body
+                       ~signature
+                 | None ->
+                     Bp_crypto.Verify_cache.verify_uncached cfg.Config.keystore
+                       ~signer ~msg:body ~signature
                in
                if ok then Hashtbl.add distinct replica ();
                ok
@@ -312,20 +327,20 @@ and proof_valid cfg (p : Msg.prepared_proof) =
        List.length valid >= 2 * cfg.Config.f
      end
 
-and compute_new_view_batches cfg envelopes =
+and compute_new_view_batches ?cache cfg envelopes =
   (* Deterministic function of the view-change set: both the new primary
      and the backups run it and must agree. *)
   let target =
     List.fold_left
       (fun acc env ->
-        match Msg.verify_envelope cfg env with
+        match Msg.verify_envelope ?cache cfg env with
         | Ok (Msg.View_change vc) -> Stdlib.max acc vc.Msg.new_view
         | _ -> acc)
       (-1) envelopes
   in
   if target < 0 then None
   else begin
-    let vcs = verified_view_changes cfg target envelopes in
+    let vcs = verified_view_changes ?cache cfg target envelopes in
     if List.length vcs < Config.quorum cfg then None
     else begin
       (* min_s: the highest stable sequence supported by at least f+1
@@ -361,7 +376,7 @@ and compute_new_view_batches cfg envelopes =
             let seq = min_s + 1 + i in
             match Int_map.find_opt seq !best with
             | Some p -> (seq, p.Msg.pdigest, p.Msg.pbatch)
-            | None -> (seq, Msg.batch_digest [], []))
+            | None -> (seq, Msg.batch_digest ?cache [], []))
       in
       Some batches
     end
@@ -488,7 +503,7 @@ and try_form_batch t =
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
       t.in_flight <- true;
-      let digest = Msg.batch_digest batch in
+      let digest = digest_of_batch t batch in
       let s = slot_of t seq in
       s.sview <- t.view;
       s.digest <- Some digest;
@@ -517,7 +532,7 @@ and arm_request_timer t (r : Msg.request) =
   end
 
 and handle_request t ~envelope (r : Msg.request) =
-  if Msg.request_valid t.cfg r then begin
+  if Msg.request_valid ?cache:t.cache t.cfg r then begin
     let ck = client_key r.Msg.client in
     match Hashtbl.find_opt t.last_reply ck with
     | Some (ts, envelope) when ts >= r.Msg.ts ->
@@ -541,7 +556,7 @@ and handle_request t ~envelope (r : Msg.request) =
             }
         in
         Bp_net.Transport.send t.transport ~dst:r.Msg.client ~tag:(reply_tag t.cfg)
-          (Msg.seal t.cfg ~sender:(self_addr t) body)
+          (Msg.seal ?cache:t.cache t.cfg ~sender:(self_addr t) body)
     | _ ->
         if is_primary t && is_normal t then begin
           if not (List.exists (key_equal (request_key r)) t.queued_keys) then begin
@@ -569,8 +584,8 @@ and handle_pre_prepare t ~view ~seq ~digest ~batch =
   if
     is_normal t && view = t.view && in_window t seq
     && Config.primary_of_view t.cfg view <> t.id
-    && String.equal digest (Msg.batch_digest batch)
-    && List.for_all (Msg.request_valid t.cfg) batch
+    && String.equal digest (digest_of_batch t batch)
+    && List.for_all (Msg.request_valid ?cache:t.cache t.cfg) batch
   then begin
     let s = slot_of t seq in
     match s.digest with
@@ -663,14 +678,14 @@ and handle_fetch t ~from_seq ~replica =
       let body = Msg.Fetch_reply { batches = !batches; replica = t.id } in
       Bp_net.Transport.send t.transport ~dst:t.cfg.Config.nodes.(replica)
         ~tag:t.cfg.Config.tag
-        (Msg.seal t.cfg ~sender:(self_addr t) body)
+        (Msg.seal ?cache:t.cache t.cfg ~sender:(self_addr t) body)
     end
   end
 
 and handle_fetch_reply t ~batches ~replica =
   List.iter
     (fun (seq, digest, batch) ->
-      if seq > t.last_exec && String.equal digest (Msg.batch_digest batch) then begin
+      if seq > t.last_exec && String.equal digest (digest_of_batch t batch) then begin
         let entries = Option.value ~default:[] (Hashtbl.find_opt t.fetch_votes seq) in
         let entries =
           match List.partition (fun (d, _, _) -> String.equal d digest) entries with
@@ -746,7 +761,7 @@ let extract_prepare_signature envelope =
 
 let on_envelope t ~src:_ envelope =
   if not t.stopped then
-    match Msg.verify_envelope t.cfg envelope with
+    match Msg.verify_envelope ?cache:t.cache t.cfg envelope with
     | Error e -> Log.debug (fun m -> m "pbft %d: rejected envelope: %s" t.id e)
     | Ok body -> (
         match body with
@@ -782,7 +797,7 @@ let on_envelope t ~src:_ envelope =
               && Config.primary_of_view t.cfg view = replica
               && replica <> t.id
             then begin
-              match compute_new_view_batches t.cfg view_change_envelopes with
+              match compute_new_view_batches ?cache:t.cache t.cfg view_change_envelopes with
               | Some expected when batches_equal expected batches ->
                   enter_new_view t view batches
               | _ ->
@@ -792,7 +807,7 @@ let on_envelope t ~src:_ envelope =
         | Msg.Fetch_reply { batches; replica } ->
             handle_fetch_reply t ~batches ~replica)
 
-let create transport cfg ~id ~execute () =
+let create ?cache transport cfg ~id ~execute () =
   let engine = Network.engine (Bp_net.Transport.network transport) in
   let t =
     {
@@ -800,6 +815,8 @@ let create transport cfg ~id ~execute () =
       id;
       transport;
       engine;
+      cache;
+      batch_memo = Bp_crypto.Verify_cache.memo ~capacity:16 ();
       execute;
       on_executed = (fun ~seq:_ _ -> ());
       verifier = (fun ~kind:_ ~op:_ -> true);

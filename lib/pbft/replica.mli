@@ -28,6 +28,7 @@ exception Invariant_violation of string
     slot coordinates. *)
 
 val create :
+  ?cache:Bp_crypto.Verify_cache.t ->
   Bp_net.Transport.t ->
   Config.t ->
   id:int ->
@@ -36,7 +37,11 @@ val create :
   t
 (** [execute] is the deterministic application upcall; it runs exactly
     once per request, in global sequence order, on every correct replica;
-    its return value is the client-visible result. *)
+    its return value is the client-visible result.
+
+    [cache] memoizes signature verdicts and batch digests for this
+    replica. Purely a performance knob: protocol outputs are bit-identical
+    with or without it (see {!Msg}). *)
 
 val id : t -> int
 val view : t -> int

@@ -250,8 +250,19 @@ let fire t e =
   t.clock <- e.fire_at;
   e.action ()
 
+(* A cancelled root means the pop path is wading through tombstones. One
+   lazy drop per pop is fine when they are rare; once the backlog
+   dominates (same condition as [maybe_purge]) a single O(n) compaction
+   replaces O(backlog) sift-downs — this is what keeps a cancel-heavy
+   workload (e.g. timeout timers that almost never fire) from paying a
+   per-event logarithmic toll on dead entries at drain time, not just at
+   enqueue time. *)
+let[@inline] purge_worthwhile t =
+  t.cell.backlog > purge_threshold && t.cell.backlog > t.cell.live
+
 let step t =
   let rec next () =
+    if purge_worthwhile t then purge t;
     match Heap.pop t.heap with
     | None -> false
     | Some e ->
@@ -277,8 +288,11 @@ let run ?until ?(max_events = 50_000_000) t =
          re-descent through [step]. *)
       let top = h.Heap.events.(0) in
       if top.timer.cancelled then begin
-        ignore (Heap.pop h);
-        drop_cancelled t top
+        if purge_worthwhile t then purge t
+        else begin
+          ignore (Heap.pop h);
+          drop_cancelled t top
+        end
       end
       else begin
         let beyond =

@@ -17,8 +17,17 @@ type counters = {
   bytes_sent : int;
 }
 
+(* Delivery hints are an in-simulator optimization channel: a sender that
+   already holds a decoded form of the payload can attach it, and a
+   receiver that trusts physical identity (hint carries the very same
+   payload string it was handed) may skip re-parsing. Hints ride outside
+   the byte stream — they never change what is delivered, only how fast a
+   receiver can interpret it — and are dropped whenever fault injection
+   rewrites the payload. *)
+type hint = ..
+
 type node_state = {
-  handler : src:Addr.t -> string -> unit;
+  handler : src:Addr.t -> hint:hint option -> string -> unit;
   mutable crashed : bool;
   mutable nic_busy_until : Time.t;
 }
@@ -110,14 +119,14 @@ let flip_byte rng payload =
     Bytes.unsafe_to_string b
   end
 
-let deliver t ~src ~dst payload =
+let deliver t ~src ~dst ~hint payload =
   match Addr.Tbl.find_opt t.nodes dst with
   | None -> t.dropped <- t.dropped + 1
   | Some node ->
       if node.crashed then t.dropped <- t.dropped + 1
       else begin
         t.delivered <- t.delivered + 1;
-        node.handler ~src payload
+        node.handler ~src ~hint payload
       end
 
 (* The send never leaves the source NIC: it is neither offered traffic
@@ -128,7 +137,7 @@ let drop_at_source t =
   t.dropped <- t.dropped + 1;
   t.dropped_at_source <- t.dropped_at_source + 1
 
-let send t ~src ~dst payload =
+let send t ~src ~dst ?hint payload =
   match Addr.Tbl.find_opt t.nodes src with
   | None -> drop_at_source t
   | Some sender ->
@@ -154,20 +163,24 @@ let send t ~src ~dst payload =
         let arrive = Time.add (Time.add depart propagation) jitter in
         if Bp_util.Rng.bernoulli t.rng t.faults.drop then t.dropped <- t.dropped + 1
         else begin
-          let payload =
+          let payload, hint =
             if Bp_util.Rng.bernoulli t.rng t.faults.corrupt then begin
               t.corrupted <- t.corrupted + 1;
-              flip_byte t.rng payload
+              (* The bytes changed, so any decoded form of the original is
+                 a lie: the hint must not survive corruption. *)
+              (flip_byte t.rng payload, None)
             end
-            else payload
+            else (payload, hint)
           in
           ignore
-            (Engine.schedule_at t.engine arrive (fun () -> deliver t ~src ~dst payload));
+            (Engine.schedule_at t.engine arrive (fun () ->
+                 deliver t ~src ~dst ~hint payload));
           if Bp_util.Rng.bernoulli t.rng t.faults.duplicate then begin
             t.duplicated <- t.duplicated + 1;
             let again = Time.add arrive (Time.of_ms 0.1) in
             ignore
-              (Engine.schedule_at t.engine again (fun () -> deliver t ~src ~dst payload))
+              (Engine.schedule_at t.engine again (fun () ->
+                   deliver t ~src ~dst ~hint payload))
           end
         end
       end

@@ -29,11 +29,22 @@ val engine : t -> Engine.t
 val topology : t -> Topology.t
 val set_faults : t -> faults -> unit
 
-val register : t -> Addr.t -> (src:Addr.t -> string -> unit) -> unit
+type hint = ..
+(** Sender-supplied delivery hints. A hint carries a pre-interpreted form
+    of the payload (e.g. {!Bp_net.Transport} attaches the decoded packet
+    when one encoded frame fans out to many recipients). Hints never
+    change the delivered bytes; a receiver must only honour one after
+    checking physical identity with the payload it refers to, and fault
+    injection drops the hint whenever it rewrites the payload. Extensible
+    so upper layers can define hint shapes the simulator knows nothing
+    about. *)
+
+val register :
+  t -> Addr.t -> (src:Addr.t -> hint:hint option -> string -> unit) -> unit
 (** Attach a node's receive handler. @raise Invalid_argument if already
     registered. *)
 
-val send : t -> src:Addr.t -> dst:Addr.t -> string -> unit
+val send : t -> src:Addr.t -> dst:Addr.t -> ?hint:hint -> string -> unit
 (** Fire-and-forget datagram. Sends from/to crashed or unregistered nodes
     are silently dropped (the sender cannot tell — like UDP). *)
 

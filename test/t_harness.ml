@@ -195,6 +195,28 @@ let test_experiments_deterministic () =
   let f = render_all (Exp_local.fig4 ~scale:0.2 ()) in
   Alcotest.(check string) "fig4 twice, identical" e f
 
+(* The verification caches and content-addressed signing are pure
+   accelerators: disabling them (--no-cache) must reproduce every
+   experiment table byte for byte. Signature values differ between the
+   modes, but they are fixed-width and never rendered, so nothing
+   measurable moves. *)
+let test_experiments_identical_without_cache () =
+  let render_all reports =
+    String.concat "\n" (List.map Report.render reports)
+  in
+  let uncached f =
+    Bp_crypto.Verify_cache.set_enabled false;
+    Fun.protect
+      ~finally:(fun () -> Bp_crypto.Verify_cache.set_enabled true)
+      f
+  in
+  let on4 = render_all (Exp_local.fig4 ~scale:0.08 ()) in
+  let off4 = uncached (fun () -> render_all (Exp_local.fig4 ~scale:0.08 ())) in
+  Alcotest.(check string) "fig4 identical with caches off" on4 off4;
+  let on5 = render_all (Exp_geo.fig5 ~scale:0.2 ()) in
+  let off5 = uncached (fun () -> render_all (Exp_geo.fig5 ~scale:0.2 ())) in
+  Alcotest.(check string) "fig5 identical with caches off" on5 off5
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   [
@@ -213,5 +235,7 @@ let suite =
         tc "workload open loop" test_workload_open_loop;
         tc "runner helpers" test_runner_helpers;
         tc "experiments deterministic" test_experiments_deterministic;
+        tc "experiments identical without cache"
+          test_experiments_identical_without_cache;
       ] );
   ]

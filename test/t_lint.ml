@@ -76,6 +76,14 @@ let test_r4 () =
   check_count ~msg:"print_endline + Printf.printf" "R4-print" 2 diags;
   check_count ~msg:"module has no .mli" "R4-mli" 1 diags
 
+let test_r5 () =
+  let diags = Lint.lint_cmt ~rules:[ "R5-rawverify" ] (fixture "Fx_r5") in
+  (* The bare Signer.verify is flagged; Verify_cache.verify and
+     verify_uncached are sanctioned; the allow-attributed site is
+     suppressed. *)
+  check_count ~msg:"bare Signer.verify" "R5-rawverify" 1 diags;
+  Alcotest.(check int) "total findings" 1 (List.length diags)
+
 let test_clean_fixture () =
   let diags = Lint.lint_cmt ~rules:Lint.all_rules (fixture "Fx_clean") in
   Alcotest.(check int) (Printf.sprintf "clean module\n%s" (show diags)) 0
@@ -109,6 +117,12 @@ let test_policy () =
     (has "R2-domain" "lib/pbft/replica.ml");
   Alcotest.(check bool) "parallel exempt from R2-domain" false
     (has "R2-domain" "lib/parallel/pool.ml");
+  Alcotest.(check bool) "pbft gets R5-rawverify" true
+    (has "R5-rawverify" "lib/pbft/replica.ml");
+  Alcotest.(check bool) "core gets R5-rawverify" true
+    (has "R5-rawverify" "lib/core/unit_node.ml");
+  Alcotest.(check bool) "crypto exempt from R5-rawverify" false
+    (has "R5-rawverify" "lib/crypto/verify_cache.ml");
   Alcotest.(check int) "bin gets nothing" 0
     (List.length (Lint.policy ~source:"bin/blockplane_cli.ml"))
 
@@ -136,6 +150,7 @@ let suite =
         Alcotest.test_case "R2 multicore primitives confined" `Quick test_r2_domain;
         Alcotest.test_case "R3 partial functions and catch-alls" `Quick test_r3;
         Alcotest.test_case "R4 printing and missing mli" `Quick test_r4;
+        Alcotest.test_case "R5 raw verify confined to crypto" `Quick test_r5;
         Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
         Alcotest.test_case "allowlist suppression" `Quick test_allowlist;
         Alcotest.test_case "per-directory policy" `Quick test_policy;

@@ -241,9 +241,9 @@ let setup ?faults () =
 let test_network_latency () =
   let e, net = setup () in
   let a = node Topology.dc_california 0 and b = node Topology.dc_oregon 0 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let arrival = ref Time.zero in
-  Network.register net b (fun ~src:_ _ -> arrival := Engine.now e);
+  Network.register net b (fun ~src:_ ~hint:_ _ -> arrival := Engine.now e);
   Network.send net ~src:a ~dst:b "hi";
   Engine.run e;
   (* one-way C-O = 9.5ms plus 2-byte serialization (negligible). *)
@@ -253,9 +253,9 @@ let test_network_latency () =
 let test_network_intra_dc_latency () =
   let e, net = setup () in
   let a = node 0 0 and b = node 0 1 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let arrival = ref Time.zero in
-  Network.register net b (fun ~src:_ _ -> arrival := Engine.now e);
+  Network.register net b (fun ~src:_ ~hint:_ _ -> arrival := Engine.now e);
   Network.send net ~src:a ~dst:b "hi";
   Engine.run e;
   let got = Time.to_ms !arrival in
@@ -266,9 +266,9 @@ let test_network_nic_serialization () =
      first (shared NIC), so arrivals are spaced by the transfer time. *)
   let e, net = setup () in
   let a = node 0 0 and b = node 0 1 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let arrivals = ref [] in
-  Network.register net b (fun ~src:_ _ -> arrivals := Engine.now e :: !arrivals);
+  Network.register net b (fun ~src:_ ~hint:_ _ -> arrivals := Engine.now e :: !arrivals);
   let payload = String.make 640_000 'x' in
   Network.send net ~src:a ~dst:b payload;
   Network.send net ~src:a ~dst:b payload;
@@ -283,9 +283,9 @@ let test_network_nic_serialization () =
 let test_network_crashed_receiver_drops () =
   let e, net = setup () in
   let a = node 0 0 and b = node 0 1 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let got = ref 0 in
-  Network.register net b (fun ~src:_ _ -> incr got);
+  Network.register net b (fun ~src:_ ~hint:_ _ -> incr got);
   Network.crash net b;
   Network.send net ~src:a ~dst:b "hi";
   Engine.run e;
@@ -298,9 +298,9 @@ let test_network_crashed_receiver_drops () =
 let test_network_crashed_sender_drops () =
   let e, net = setup () in
   let a = node 0 0 and b = node 0 1 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let got = ref 0 in
-  Network.register net b (fun ~src:_ _ -> incr got);
+  Network.register net b (fun ~src:_ ~hint:_ _ -> incr got);
   Network.crash net a;
   Network.send net ~src:a ~dst:b "hi";
   Engine.run e;
@@ -309,10 +309,10 @@ let test_network_crashed_sender_drops () =
 let test_network_crash_dc () =
   let e, net = setup () in
   let a = node 0 0 and b = node 0 1 and c = node 1 0 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let got_b = ref 0 and got_c = ref 0 in
-  Network.register net b (fun ~src:_ _ -> incr got_b);
-  Network.register net c (fun ~src:_ _ -> incr got_c);
+  Network.register net b (fun ~src:_ ~hint:_ _ -> incr got_b);
+  Network.register net c (fun ~src:_ ~hint:_ _ -> incr got_c);
   Network.crash_dc net 0;
   (* a is crashed too: send from c instead. *)
   Network.send net ~src:c ~dst:b "hi";
@@ -327,9 +327,9 @@ let test_network_crash_dc () =
 let test_network_partition () =
   let e, net = setup () in
   let a = node 0 0 and b = node 1 0 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let got = ref 0 in
-  Network.register net b (fun ~src:_ _ -> incr got);
+  Network.register net b (fun ~src:_ ~hint:_ _ -> incr got);
   Network.set_link net 0 1 `Down;
   Network.send net ~src:a ~dst:b "hi";
   Engine.run e;
@@ -343,9 +343,9 @@ let test_network_drop_fault () =
   let faults = { Network.no_faults with drop = 1.0 } in
   let e, net = setup ~faults () in
   let a = node 0 0 and b = node 0 1 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let got = ref 0 in
-  Network.register net b (fun ~src:_ _ -> incr got);
+  Network.register net b (fun ~src:_ ~hint:_ _ -> incr got);
   for _ = 1 to 10 do
     Network.send net ~src:a ~dst:b "hi"
   done;
@@ -357,9 +357,9 @@ let test_network_duplicate_fault () =
   let faults = { Network.no_faults with duplicate = 1.0 } in
   let e, net = setup ~faults () in
   let a = node 0 0 and b = node 0 1 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let got = ref 0 in
-  Network.register net b (fun ~src:_ _ -> incr got);
+  Network.register net b (fun ~src:_ ~hint:_ _ -> incr got);
   Network.send net ~src:a ~dst:b "hi";
   Engine.run e;
   Alcotest.(check int) "delivered twice" 2 !got
@@ -368,9 +368,9 @@ let test_network_corrupt_fault () =
   let faults = { Network.no_faults with corrupt = 1.0 } in
   let e, net = setup ~faults () in
   let a = node 0 0 and b = node 0 1 in
-  Network.register net a (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
   let received = ref "" in
-  Network.register net b (fun ~src:_ p -> received := p);
+  Network.register net b (fun ~src:_ ~hint:_ p -> received := p);
   Network.send net ~src:a ~dst:b "payload";
   Engine.run e;
   Alcotest.(check bool) "mutated" false (String.equal !received "payload");
@@ -379,8 +379,8 @@ let test_network_corrupt_fault () =
 let test_network_counters () =
   let e, net = setup () in
   let a = node 0 0 and b = node 0 1 in
-  Network.register net a (fun ~src:_ _ -> ());
-  Network.register net b (fun ~src:_ _ -> ());
+  Network.register net a (fun ~src:_ ~hint:_ _ -> ());
+  Network.register net b (fun ~src:_ ~hint:_ _ -> ());
   Network.send net ~src:a ~dst:b "12345";
   Engine.run e;
   let c = Network.counters net in

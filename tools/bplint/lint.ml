@@ -16,6 +16,7 @@ let all_rules =
     "R3-catchall";
     "R4-print";
     "R4-mli";
+    "R5-rawverify";
   ]
 
 let to_string d =
@@ -110,6 +111,11 @@ let policy ~source =
           (if in_dirs [ "pbft"; "paxos"; "crypto"; "codec"; "core" ] then
              [ "R3-partial"; "R3-catchall" ]
            else []);
+          (* Signature verification outside lib/crypto must go through
+             Verify_cache (verify, or verify_uncached when no cache is in
+             scope): a stray Signer.verify silently bypasses both the memo
+             and its generation-stamped invalidation discipline. *)
+          (if in_dirs [ "crypto" ] then [] else [ "R5-rawverify" ]);
         ]
 
 (* ---------- AST checks ---------- *)
@@ -286,6 +292,10 @@ let print_fns =
     "Stdlib.Format.print_newline";
   ]
 
+(* Both spellings occur in cmt files: the alias path as written, and the
+   mangled name of the wrapped library's implementation module. *)
+let raw_verify_fns = [ "Bp_crypto.Signer.verify"; "Bp_crypto__Signer.verify" ]
+
 let check_ident ctx (e : Typedtree.expression) path =
   let qual = Path.name path in
   let name = strip_stdlib qual in
@@ -339,7 +349,13 @@ let check_ident ctx (e : Typedtree.expression) path =
       (Printf.sprintf
          "library code must not write to the console (%s); return strings or \
           log through Logs"
-         name)
+         name);
+  if List.mem qual raw_verify_fns then
+    report ctx ~rule:"R5-rawverify" ~loc
+      "direct Signer.verify bypasses the per-node verification cache; call \
+       Bp_crypto.Verify_cache.verify (or verify_uncached when no cache is \
+       in scope) so verdict memoization and its generation-based \
+       invalidation stay in force"
 
 let rec pattern_catches_all : type k. k Typedtree.general_pattern -> bool =
  fun p ->
