@@ -18,6 +18,7 @@
      dune exec bench/main.exe -- --json out.json --baseline base.json
                                               # also record speedup_vs_baseline
      dune exec bench/main.exe -- --no-cache   # disable verify/digest caches
+     dune exec bench/main.exe -- --pipeline 4 # consensus pipeline depth
      BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep
 
    --jobs defaults to Domain.recommended_domain_count. Parallel runs are
@@ -49,14 +50,24 @@ let run_experiment ?pool e =
      baseline ratios stay honest. *)
   Gc.compact ();
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun r -> print_string (Bp_harness.Report.render r))
-    (Bp_harness.Experiments.run ?pool e ~scale);
+  let reports = Bp_harness.Experiments.run ?pool e ~scale in
+  List.iter (fun r -> print_string (Bp_harness.Report.render r)) reports;
   let wall = Unix.gettimeofday () -. t0 in
   Printf.printf "   (regenerated in %.1fs wall time)\n%!" wall;
-  (e.Bp_harness.Experiments.id, wall)
+  (* Per-operation counters (latency percentiles, pipeline occupancy)
+     for the JSON record, keyed "<report-id>.<name>" since an experiment
+     can emit several reports (fig4a/fig4b). *)
+  let metrics =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun (k, v) -> (r.Bp_harness.Report.id ^ "." ^ k, v))
+          r.Bp_harness.Report.metrics)
+      reports
+  in
+  (e.Bp_harness.Experiments.id, wall, metrics)
 
-let run_paper_benches ?pool ~jobs ids =
+let run_paper_benches ?pool ~jobs ~pipeline ids =
   let known = List.map (fun e -> e.Bp_harness.Experiments.id) Bp_harness.Experiments.all in
   (match List.filter (fun id -> not (List.mem id known)) ids with
   | [] -> ()
@@ -69,6 +80,10 @@ let run_paper_benches ?pool ~jobs ids =
   Printf.printf "Blockplane (ICDE 2019) - evaluation reproduction\n";
   Printf.printf "scale=%.2f (set BP_BENCH_SCALE to adjust)\n" scale;
   Printf.printf "jobs=%d (--jobs N; results are identical at any N)\n" jobs;
+  Printf.printf
+    "pipeline=%d (--pipeline N; consensus depth for every world; the \
+     ablation sweeps its own)\n"
+    pipeline;
   Printf.printf "cache=%s (--no-cache to disable; tables are identical either way)\n"
     (if Bp_crypto.Verify_cache.enabled () then "on" else "off");
   Printf.printf "=====================================================\n";
@@ -241,7 +256,7 @@ let run_micro () =
   Printf.printf "%!";
   List.rev !rows
 
-(* ---------- JSON report (schema bp-bench/3) ---------- *)
+(* ---------- JSON report (schema bp-bench/4) ---------- *)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -262,7 +277,7 @@ let json_escape s =
 (* A baseline is a prior --json report to compare against — a sequential
    run for parallel speedups, or a --no-cache run for cache speedups. We
    only need (id, wall_s) pairs, and every experiment line of bp-bench/1
-   through /3 reports starts with exactly those two fields, so a
+   through /4 reports starts with exactly those two fields, so a
    line-oriented scan is enough — no JSON parser needed. *)
 let read_baseline path =
   let ic =
@@ -285,13 +300,14 @@ let read_baseline path =
   close_in ic;
   List.rev !entries
 
-let write_json path ~jobs ~baseline ~experiments ~micro =
+let write_json path ~jobs ~pipeline ~baseline ~experiments ~micro =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"bp-bench/3\",\n";
+  p "  \"schema\": \"bp-bench/4\",\n";
   p "  \"scale\": %g,\n" scale;
   p "  \"jobs\": %d,\n" jobs;
+  p "  \"pipeline\": %d,\n" pipeline;
   p "  \"cache_enabled\": %b,\n" (Bp_crypto.Verify_cache.enabled ());
   (let c = Bp_crypto.Verify_cache.counters () in
    p
@@ -303,7 +319,7 @@ let write_json path ~jobs ~baseline ~experiments ~micro =
      c.Bp_crypto.Verify_cache.memo_hits c.Bp_crypto.Verify_cache.memo_misses);
   p "  \"experiments\": [";
   List.iteri
-    (fun i (id, wall) ->
+    (fun i (id, wall, metrics) ->
       p "%s\n    { \"id\": \"%s\", \"wall_s\": %.3f" (if i = 0 then "" else ",")
         (json_escape id) wall;
       (* Sub-millisecond walls (table1 just prints a constant matrix)
@@ -313,6 +329,15 @@ let write_json path ~jobs ~baseline ~experiments ~micro =
           p ", \"baseline_wall_s\": %.3f, \"speedup_vs_baseline\": %.2f"
             base_wall (base_wall /. wall)
       | _ -> ());
+      (match metrics with
+      | [] -> ()
+      | metrics ->
+          p ",\n      \"metrics\": { ";
+          List.iteri
+            (fun j (k, v) ->
+              p "%s\"%s\": %g" (if j = 0 then "" else ", ") (json_escape k) v)
+            metrics;
+          p " }");
       p " }")
     experiments;
   p "\n  ],\n";
@@ -331,6 +356,7 @@ let () =
   let json_path = ref None in
   let baseline_path = ref None in
   let jobs = ref (Bp_parallel.Pool.default_jobs ()) in
+  let pipeline = ref 1 in
   let missing flag =
     Printf.eprintf "bench: %s requires an argument\n" flag;
     exit 2
@@ -356,11 +382,23 @@ let () =
             Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" n;
             exit 2)
     | [ ("--jobs" | "-j") ] -> missing "--jobs"
+    | "--pipeline" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            pipeline := n;
+            parse rest
+        | _ ->
+            Printf.eprintf "bench: --pipeline expects a positive integer, got %S\n"
+              n;
+            exit 2)
+    | [ "--pipeline" ] -> missing "--pipeline"
     | a :: rest -> a :: parse rest
     | [] -> []
   in
   let args = parse (List.tl (Array.to_list Sys.argv)) in
   let jobs = !jobs in
+  let pipeline = !pipeline in
+  Bp_harness.Runner.set_default_pipeline pipeline;
   let pool = if jobs > 1 then Some (Bp_parallel.Pool.create ~jobs) else None in
   let finally () = Option.iter Bp_parallel.Pool.shutdown pool in
   Fun.protect ~finally @@ fun () ->
@@ -368,9 +406,9 @@ let () =
     match args with
     | [ "micro" ] -> ([], run_micro ())
     | [] ->
-        let experiments = run_paper_benches ?pool ~jobs [] in
+        let experiments = run_paper_benches ?pool ~jobs ~pipeline [] in
         (experiments, run_micro ())
-    | ids -> (run_paper_benches ?pool ~jobs ids, [])
+    | ids -> (run_paper_benches ?pool ~jobs ~pipeline ids, [])
   in
   match !json_path with
   | None -> ()
@@ -379,7 +417,7 @@ let () =
         match !baseline_path with None -> [] | Some p -> read_baseline p
       in
       try
-        write_json path ~jobs ~baseline ~experiments ~micro;
+        write_json path ~jobs ~pipeline ~baseline ~experiments ~micro;
         if path <> "/dev/null" then Printf.printf "\nwrote %s\n%!" path
       with Sys_error msg ->
         Printf.eprintf "bench: cannot write JSON report: %s\n" msg;

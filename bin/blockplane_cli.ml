@@ -29,6 +29,23 @@ let no_cache_arg =
 let set_cache no_cache =
   if no_cache then Bp_crypto.Verify_cache.set_enabled false
 
+let pipeline_arg =
+  let doc =
+    "Consensus pipeline depth: how many PBFT slots each primary keeps in \
+     flight concurrently. 1 (the default) is the stop-and-wait baseline \
+     and reproduces the pre-pipeline tables byte-for-byte; deeper values \
+     overlap successive three-phase rounds. The ablation-pipeline \
+     experiment sweeps its own depths regardless of this flag."
+  in
+  Arg.(value & opt int 1 & info [ "pipeline" ] ~docv:"DEPTH" ~doc)
+
+let set_pipeline depth =
+  if depth < 1 then (
+    Printf.eprintf "blockplane-cli: --pipeline must be at least 1, got %d\n"
+      depth;
+    exit 1);
+  Bp_harness.Runner.set_default_pipeline depth
+
 let jobs_arg =
   let doc =
     "Number of worker domains to fan independent simulation tasks across. \
@@ -61,9 +78,10 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available experiments")
     Term.(const run $ const ())
 
-let run_experiment id scale jobs verbose no_cache =
+let run_experiment id scale jobs verbose no_cache pipeline =
   setup_logs verbose;
   set_cache no_cache;
+  set_pipeline pipeline;
   match Bp_harness.Experiments.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `blockplane-cli list`\n" id;
@@ -85,12 +103,13 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured table")
     Term.(
       const run_experiment $ id_arg $ scale_arg $ jobs_arg $ verbose_arg
-      $ no_cache_arg)
+      $ no_cache_arg $ pipeline_arg)
 
 let all_cmd =
-  let run scale jobs verbose no_cache =
+  let run scale jobs verbose no_cache pipeline =
     setup_logs verbose;
     set_cache no_cache;
+    set_pipeline pipeline;
     with_pool jobs (fun pool ->
         List.iter
           (fun e ->
@@ -101,7 +120,9 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every table and figure of the evaluation")
-    Term.(const run $ scale_arg $ jobs_arg $ verbose_arg $ no_cache_arg)
+    Term.(
+      const run $ scale_arg $ jobs_arg $ verbose_arg $ no_cache_arg
+      $ pipeline_arg)
 
 let () =
   let info =

@@ -51,6 +51,14 @@ val read_linearizable : t -> int -> on_result:(Record.t option -> unit) -> unit
 val next_comm_seq : t -> dest:int -> int
 (** The next per-destination sequence number [send] would use. *)
 
+val pipeline_depth : t -> int
+(** The unit's configured consensus pipeline depth
+    ({!Bp_pbft.Config.t.max_in_flight}). *)
+
+val pipeline_occupancy : t -> float
+(** Mean in-flight consensus slots observed at the unit's lead node —
+    1.0 for stop-and-wait, up to {!pipeline_depth} when saturated. *)
+
 val submit_record :
   t -> Record.t -> on_done:(unit -> unit) -> on_rejected:(unit -> unit) -> unit
 (** Low-level submission of an arbitrary record (used by tests to model

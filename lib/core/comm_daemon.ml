@@ -21,6 +21,7 @@ type t = {
   engine : Engine.t;
   needed_sigs : int;
   mutable pending : txn_state Int_map.t; (* comm_seq -> state *)
+  mutable ready_count : int; (* pending entries with [ready = true] *)
   mutable highest : int;
   mutable acked : int;
   mutable target : int; (* destination node rotation index *)
@@ -65,6 +66,7 @@ let maybe_ready t st =
     && (t.geo_proofs = None || st.geo <> None)
   then begin
     st.ready <- true;
+    t.ready_count <- t.ready_count + 1;
     transmit t st
   end
 
@@ -140,7 +142,11 @@ let on_ack t ~from_participant ~comm_seq =
   if from_participant = t.dest && comm_seq > t.acked then begin
     t.acked <- comm_seq;
     t.ack_count <- t.ack_count + 1;
-    t.pending <- Int_map.filter (fun seq _ -> seq > comm_seq) t.pending;
+    let acked, rest = Int_map.partition (fun seq _ -> seq <= comm_seq) t.pending in
+    Int_map.iter
+      (fun _ st -> if st.ready then t.ready_count <- t.ready_count - 1)
+      acked;
+    t.pending <- rest;
     List.iter (fun f -> f comm_seq) t.ack_subs
   end
 
@@ -149,7 +155,9 @@ let retry t =
      unacknowledged, in order — a crashed or malicious receiver node is
      bypassed; the receiving side deduplicates. *)
   if t.enabled && not (Int_map.is_empty t.pending) then begin
-    let any_ready = Int_map.exists (fun _ st -> st.ready) t.pending in
+    (* O(1) via the counter — this runs on every retry tick, and a scan
+       of [pending] grows with the unacknowledged backlog. *)
+    let any_ready = t.ready_count > 0 in
     if any_ready then begin
       t.target <- t.target + 1;
       Int_map.iter (fun _ st -> if st.ready then transmit t st) t.pending
@@ -172,6 +180,7 @@ let create ~node ~dest ~dest_nodes ?geo_proofs ?(start_after = -1) () =
       engine;
       needed_sigs = Unit_node.fi node + 1;
       pending = Int_map.empty;
+      ready_count = 0;
       highest = start_after;
       acked = start_after;
       target = 0;

@@ -14,6 +14,7 @@ val create :
   ?scheme:Bp_crypto.Signer.scheme ->
   ?batch_max:int ->
   ?request_timeout:Bp_sim.Time.t ->
+  ?max_in_flight:int ->
   app:(unit -> App.instance) ->
   unit ->
   t

@@ -45,6 +45,7 @@ let replica t =
       (* [create] installs the replica before returning the node. *)
       invalid_arg "Unit_node.replica: node not fully constructed"
 let participant t = t.participant
+let pipeline_occupancy t = Bp_pbft.Replica.pipeline_occupancy (replica t)
 let log t = t.log
 let app t = t.app
 let app_digest t = App.digest t.app

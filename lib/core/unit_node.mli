@@ -33,6 +33,11 @@ val vcache : t -> Bp_crypto.Verify_cache.t
 
 val transport : t -> Bp_net.Transport.t
 val replica : t -> Bp_pbft.Replica.t
+
+val pipeline_occupancy : t -> float
+(** Mean in-flight consensus slots at this node's replica — see
+    {!Bp_pbft.Replica.pipeline_occupancy}. *)
+
 val participant : t -> int
 val identity : t -> string
 val log : t -> Bp_storage.Log_store.t

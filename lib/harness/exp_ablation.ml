@@ -49,6 +49,7 @@ let reads_reports ~scale =
           [ "2f+1 quorum"; Report.ms (Bp_util.Stats.mean rq); "f byzantine nodes" ];
           [ "linearizable (committed marker)"; Report.ms (Bp_util.Stats.mean rl); "f byzantine + stale reads" ];
         ];
+      metrics = [];
       notes = [ "each stronger strategy buys safety with one more protocol round" ];
     };
   ]
@@ -101,6 +102,7 @@ let batching_merge ~burst results =
           [ "off (1 request per PBFT batch)"; Report.ms mk1; Printf.sprintf "%.0f" th1 ];
           [ "on (up to 64 per batch)"; Report.ms mk64; Printf.sprintf "%.0f" th64 ];
         ];
+      metrics = [];
       notes = [ "batching amortizes the three-phase protocol across the whole burst" ];
     };
   ]
@@ -178,6 +180,7 @@ let signatures_merge results =
             string_of_int hash_bytes;
           ];
         ];
+      metrics = [];
       notes =
         [
           "hash-based signatures need no trusted registry; each signature is ~500x larger (message-level traffic ~23x)";
@@ -238,6 +241,7 @@ let loss_merge rows =
       paper_ref = "extension: the reliable-transport layer the paper assumes from TCP";
       header = [ "drop rate"; "mean ms"; "p50 ms"; "max ms" ];
       rows;
+      metrics = [];
       notes =
         [
           "losses surface as retransmission delays, never as protocol failures";
@@ -291,6 +295,7 @@ let load_merge rows =
       paper_ref = "extension: the queueing knee of group commit (SVI-C), Poisson arrivals, 1 KB ops";
       header = [ "offered"; "achieved"; "mean ms"; "p99 ms" ];
       rows;
+      metrics = [];
       notes =
         [
           "group commit absorbs load almost flat until the unit saturates, then queueing delay takes over";

@@ -21,6 +21,7 @@ let table1 () =
       paper_ref = "Table I (these are the simulator's inputs)";
       header;
       rows;
+      metrics = [];
       notes = [ "C=California O=Oregon V=Virginia I=Ireland" ];
     };
   ]
@@ -96,6 +97,7 @@ let fig6_merge rows =
           "overhead (paper)";
         ];
       rows;
+      metrics = [];
       notes =
         [
           "overhead = the two local commitments + signature round on top of the raw RTT";

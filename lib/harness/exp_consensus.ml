@@ -134,6 +134,7 @@ let fig7_merge means =
       paper_ref = "Fig. 7, SVIII-D: leader at each datacenter; measured (paper) in ms";
       header = [ "leader"; "paxos"; "blockplane-paxos"; "PBFT"; "hier. PBFT" ];
       rows;
+      metrics = [];
       notes =
         [
           "expected order: paxos <= hier. PBFT <= blockplane-paxos << flat PBFT";

@@ -96,6 +96,7 @@ let costs_merge rows =
           "KB/send";
         ];
       rows;
+      metrics = [];
       notes =
         [
           "a benign single-copy deployment would use 1 node/participant and ~2 msgs/send";

@@ -41,6 +41,7 @@ let fig5_merge rows =
       paper_ref = "Fig. 5, SVIII-B: fi=1, fg varies; X(g) = commit at X with fg=g";
       header = [ "scenario"; "ms (measured)"; "ms (paper)" ];
       rows;
+      metrics = [];
       notes =
         [
           "latency ~= local commit + RTT to the fg-th closest datacenter + mirror commit";
@@ -119,6 +120,7 @@ let fig8a ~scale =
         failure_at;
     header = [ "batch"; "latency ms" ];
     rows = summarize_series (List.rev !series) ~failure_at;
+    metrics = [];
     notes =
       [
         "expected shape: ~20-40 ms while Oregon lives, ~60-80 ms after (proofs from Virginia)";
@@ -183,6 +185,7 @@ let fig8b ~scale =
         "Fig. 8(b), SVIII-E: fi=fg=1; primary killed after batch %d" failure_at;
     header = [ "batch"; "latency ms" ];
     rows = summarize_series (List.rev !series) ~failure_at;
+    metrics = [];
     notes =
       [
         "expected shape: ~20-40 ms at California, then a takeover spike (~250 ms)";

@@ -25,6 +25,25 @@ let fig4_points =
     (2000, 20, "8.2", "~240");
   ]
 
+(* Latency percentiles over every measured operation of an experiment,
+   plus the units' mean pipeline occupancy — the bench JSON counters. *)
+let op_metrics ~stats_list ~occupancies =
+  let all = Bp_util.Stats.create () in
+  List.iter
+    (fun s -> Bp_util.Stats.add_list all (Array.to_list (Bp_util.Stats.samples s)))
+    stats_list;
+  let occ =
+    match occupancies with
+    | [] -> 0.0
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  [
+    ("p50_ms", Bp_util.Stats.percentile all 50.0);
+    ("p95_ms", Bp_util.Stats.percentile all 95.0);
+    ("p99_ms", Bp_util.Stats.percentile all 99.0);
+    ("pipeline_occupancy", occ);
+  ]
+
 (* One task per batch size: each point gets its own world and seed. *)
 let fig4_task ~scale (kb, batches, paper_lat, paper_thr) () =
   let world = local_world ~fi:1 ~seed:(Int64.of_int (1000 + kb)) in
@@ -32,22 +51,28 @@ let fig4_task ~scale (kb, batches, paper_lat, paper_thr) () =
   let warmup = Stdlib.max 1 (n / 10) in
   let stats = commit_loop world ~size:(kb * 1000) ~n ~warmup in
   let mean_ms = Bp_util.Stats.mean stats in
+  let occ = Api.pipeline_occupancy (Deployment.api world.Runner.dep 0) in
   (* Group commit, one batch at a time: throughput = size/latency. *)
   let throughput_mbps = float_of_int kb /. 1000.0 /. (mean_ms /. 1000.0) in
-  (kb, mean_ms, throughput_mbps, paper_lat, paper_thr)
+  (kb, mean_ms, throughput_mbps, paper_lat, paper_thr, stats, occ)
 
 let fig4_merge results =
   let lat_rows =
     List.map
-      (fun (kb, mean_ms, _, paper_lat, _) ->
+      (fun (kb, mean_ms, _, paper_lat, _, _, _) ->
         [ Printf.sprintf "%d KB" kb; Report.ms mean_ms; paper_lat ])
       results
   in
   let thr_rows =
     List.map
-      (fun (kb, _, thr, _, paper_thr) ->
+      (fun (kb, _, thr, _, paper_thr, _, _) ->
         [ Printf.sprintf "%d KB" kb; Report.mbps thr; paper_thr ])
       results
+  in
+  let metrics =
+    op_metrics
+      ~stats_list:(List.map (fun (_, _, _, _, _, s, _) -> s) results)
+      ~occupancies:(List.map (fun (_, _, _, _, _, _, o) -> o) results)
   in
   [
     {
@@ -56,6 +81,7 @@ let fig4_merge results =
       paper_ref = "Fig. 4(a), SVIII-A: Virginia, fi=1, 4 nodes";
       header = [ "batch size"; "latency ms (measured)"; "latency ms (paper)" ];
       rows = lat_rows;
+      metrics;
       notes =
         [
           "expected shape: ~1 ms up to 100 KB, then growing with NIC serialization";
@@ -67,6 +93,7 @@ let fig4_merge results =
       paper_ref = "Fig. 4(b), SVIII-A";
       header = [ "batch size"; "MB/s (measured)"; "MB/s (paper)" ];
       rows = thr_rows;
+      metrics;
       notes =
         [
           "expected shape: steep growth to 100 KB (~60x from 1 KB), +~160% to 1 MB, ~+10% to 2 MB";
@@ -89,16 +116,20 @@ let table2_task ~scale (fi, paper_thr, paper_lat) () =
   let warmup = Stdlib.max 1 (n / 10) in
   let stats = commit_loop world ~size:100_000 ~n ~warmup in
   let mean_ms = Bp_util.Stats.mean stats in
+  let occ = Api.pipeline_occupancy (Deployment.api world.Runner.dep 0) in
   let thr = 0.1 /. (mean_ms /. 1000.0) in
-  [
-    Printf.sprintf "%d (fi=%d)" ((3 * fi) + 1) fi;
-    Report.mbps thr;
-    paper_thr;
-    Report.ms mean_ms;
-    paper_lat;
-  ]
+  ( [
+      Printf.sprintf "%d (fi=%d)" ((3 * fi) + 1) fi;
+      Report.mbps thr;
+      paper_thr;
+      Report.ms mean_ms;
+      paper_lat;
+    ],
+    stats,
+    occ )
 
-let table2_merge rows =
+let table2_merge results =
+  let rows = List.map (fun (row, _, _) -> row) results in
   [
     {
       Report.id = "table2";
@@ -107,6 +138,10 @@ let table2_merge rows =
       header =
         [ "nodes"; "MB/s (measured)"; "MB/s (paper)"; "ms (measured)"; "ms (paper)" ];
       rows;
+      metrics =
+        op_metrics
+          ~stats_list:(List.map (fun (_, s, _) -> s) results)
+          ~occupancies:(List.map (fun (_, _, o) -> o) results);
       notes = [ "expected shape: throughput falls and latency rises with n" ];
     };
   ]
@@ -119,3 +154,93 @@ let table2_plan ~scale =
     }
 
 let table2 ?(scale = 1.0) () = Runner.run_plan (table2_plan ~scale)
+
+(* ---------- pipeline-depth ablation (beyond the paper) ---------- *)
+
+let pipeline_depths = [ 1; 2; 4; 8 ]
+
+(* Fig4-style local commitment, but closed-loop with several requests
+   outstanding and [batch_max = 1], so the consensus pipeline depth is
+   the only concurrency lever: at depth 1 the primary is the seed's
+   stop-and-wait one; deeper pipelines overlap the three-phase rounds of
+   successive 100 KB batches. Depth 1 is the honesty baseline the
+   speedups are quoted against. *)
+let pipeline_task ~scale depth () =
+  let world =
+    Runner.fresh_world ~fi:1 ~seed:(Int64.of_int (7000 + depth))
+      ~n_participants:1 ~batch_max:1 ~max_in_flight:depth ()
+  in
+  let api = Deployment.api world.Runner.dep 0 in
+  let size = 100_000 in
+  let total = Runner.scaled scale 60 in
+  let stats, makespan =
+    Runner.closed_loop world.Runner.engine ~total ~outstanding:16
+      ~run_one:(fun i ~on_done ->
+        let started = Engine.now world.Runner.engine in
+        Api.log_commit api (Runner.payload ~size i) ~on_done:(fun () ->
+            on_done
+              (Time.to_ms (Time.diff (Engine.now world.Runner.engine) started))))
+  in
+  let span_s = Time.to_sec makespan in
+  let thr_mbps =
+    float_of_int total *. float_of_int size /. 1e6 /. Stdlib.max 1e-9 span_s
+  in
+  (depth, thr_mbps, stats, Api.pipeline_occupancy api)
+
+let pipeline_merge results =
+  let base_thr =
+    match results with (1, thr, _, _) :: _ -> thr | _ -> 0.0
+  in
+  let rows =
+    List.map
+      (fun (depth, thr, stats, occ) ->
+        [
+          string_of_int depth;
+          Report.mbps thr;
+          (if base_thr > 0.0 then Printf.sprintf "%.2fx" (thr /. base_thr)
+           else "-");
+          Report.ms (Bp_util.Stats.mean stats);
+          Report.ms (Bp_util.Stats.percentile stats 95.0);
+          Printf.sprintf "%.2f" occ;
+        ])
+      results
+  in
+  let metrics =
+    List.concat_map
+      (fun (depth, thr, stats, occ) ->
+        let d name = Printf.sprintf "d%d_%s" depth name in
+        [
+          (d "throughput_mbps", thr);
+          (d "speedup_vs_d1", if base_thr > 0.0 then thr /. base_thr else 0.0);
+          (d "p50_ms", Bp_util.Stats.percentile stats 50.0);
+          (d "p95_ms", Bp_util.Stats.percentile stats 95.0);
+          (d "p99_ms", Bp_util.Stats.percentile stats 99.0);
+          (d "pipeline_occupancy", occ);
+        ])
+      results
+  in
+  [
+    {
+      Report.id = "pipeline";
+      title = "Consensus pipeline depth (windowed multi-slot PBFT)";
+      paper_ref = "beyond the paper; cf. Fig. 4 setup (SVIII-A), 100 KB batches";
+      header =
+        [ "depth"; "MB/s"; "speedup"; "mean ms"; "p95 ms"; "occupancy" ];
+      rows;
+      metrics;
+      notes =
+        [
+          "closed loop, 16 outstanding 100 KB commits, batch_max=1: depth is the only concurrency lever";
+          "depth 1 = the stop-and-wait baseline; execution stays in order at any depth";
+        ];
+    };
+  ]
+
+let pipeline_plan ~scale =
+  Runner.Plan
+    {
+      tasks = List.map (fun d -> pipeline_task ~scale d) pipeline_depths;
+      merge = pipeline_merge;
+    }
+
+let pipeline ?(scale = 1.0) () = Runner.run_plan (pipeline_plan ~scale)

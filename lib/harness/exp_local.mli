@@ -15,3 +15,12 @@ val table2_plan : scale:float -> Runner.plan
 (** One task per unit size (fi 1..4). *)
 
 val table2 : ?scale:float -> unit -> Report.t list
+
+val pipeline_plan : scale:float -> Runner.plan
+(** Pipeline-depth ablation (beyond the paper): closed-loop 100 KB
+    commits with [batch_max = 1] at depths 1/2/4/8, one task per depth.
+    Depth 1 reproduces the stop-and-wait baseline; the report's metrics
+    carry per-depth throughput, speedup vs depth 1, p50/p95/p99 latency
+    and mean pipeline occupancy. *)
+
+val pipeline : ?scale:float -> unit -> Report.t list

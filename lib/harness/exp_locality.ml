@@ -79,6 +79,7 @@ let locality_merge ~reps results =
           "SIII-A locality argument; %d replicated commands, leader at Virginia" reps;
       header = [ "system"; "intra-DC KB"; "wide-area KB"; "wide-area share" ];
       rows = [ row "blockplane-paxos" (bp_intra, bp_wide); row "flat PBFT" (fp_intra, fp_wide) ];
+      metrics = [];
       notes =
         [
           "Blockplane masks byzantine failures inside datacenters, so its byzantine-protocol";

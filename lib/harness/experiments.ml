@@ -68,6 +68,11 @@ let all =
       plan = (fun ~scale -> Exp_ablation.load_plan ~scale);
     };
     {
+      id = "ablation-pipeline";
+      title = "Consensus pipeline depth (windowed multi-slot PBFT)";
+      plan = (fun ~scale -> Exp_local.pipeline_plan ~scale);
+    };
+    {
       id = "locality";
       title = "Intra-DC vs wide-area traffic share (SIII-A)";
       plan = (fun ~scale -> Exp_locality.locality_plan ~scale);

@@ -5,6 +5,7 @@ type t = {
   header : string list;
   rows : string list list;
   notes : string list;
+  metrics : (string * float) list;
 }
 
 let render t =

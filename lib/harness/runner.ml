@@ -6,11 +6,29 @@ type world = {
   dep : Blockplane.Deployment.t;
 }
 
+(* Harness worlds default to depth 1 — the seed's stop-and-wait primary —
+   so every experiment table stays byte-identical to the pre-pipeline
+   baseline unless a depth is requested explicitly (--pipeline N, or the
+   pipeline ablation's own sweep). Written once by the executables before
+   any plan runs, then only read, including from pool domains. *)
+let default_pipeline = ref 1
+
+let set_default_pipeline depth =
+  if depth <= 0 then invalid_arg "Runner.set_default_pipeline: depth must be positive";
+  default_pipeline := depth
+
 let fresh_world ?(fi = 1) ?(fg = 0) ?(seed = 4242L) ?(n_participants = 4)
+    ?batch_max ?max_in_flight
     ?(app = fun () -> Blockplane.App.make (module Blockplane.App.Null)) () =
   let engine = Engine.create ~seed () in
   let net = Network.create engine Topology.aws_paper () in
-  let dep = Blockplane.Deployment.create ~network:net ~n_participants ~fi ~fg ~app () in
+  let max_in_flight =
+    match max_in_flight with Some d -> d | None -> !default_pipeline
+  in
+  let dep =
+    Blockplane.Deployment.create ~network:net ~n_participants ~fi ~fg ?batch_max
+      ~max_in_flight ~app ()
+  in
   { engine; net; dep }
 
 let payload ~size i =
@@ -45,6 +63,36 @@ let sequential engine ~n ~warmup ~run_one =
   if not !finished then
     failwith "Runner.sequential: workload did not finish (deadlock in protocol?)";
   stats
+
+let closed_loop engine ~total ~outstanding ~run_one =
+  let stats = Bp_util.Stats.create () in
+  let next = ref 0 in
+  let completed = ref 0 in
+  let finished = ref false in
+  let t0 = Engine.now engine in
+  let rec launch () =
+    if !next < total then begin
+      let i = !next in
+      incr next;
+      run_one i ~on_done:(fun latency_ms ->
+          Bp_util.Stats.add stats latency_ms;
+          incr completed;
+          if !completed >= total then finished := true else launch ())
+    end
+  in
+  (* Prime the window; each completion immediately launches a successor,
+     keeping [outstanding] operations in flight until the tail. *)
+  for _ = 1 to Stdlib.min outstanding total do
+    launch ()
+  done;
+  let guard = ref 0 in
+  while (not !finished) && Engine.step engine do
+    incr guard;
+    if !guard > 200_000_000 then failwith "Runner.closed_loop: runaway simulation"
+  done;
+  if not !finished then
+    failwith "Runner.closed_loop: workload did not finish (deadlock in protocol?)";
+  (stats, Time.diff (Engine.now engine) t0)
 
 let scaled s n = Stdlib.max 1 (int_of_float (Float.round (s *. float_of_int n)))
 

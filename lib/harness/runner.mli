@@ -8,11 +8,21 @@ type world = {
   dep : Blockplane.Deployment.t;
 }
 
+val set_default_pipeline : int -> unit
+(** Pipeline depth for worlds that don't pick one explicitly (the
+    [--pipeline N] knob). Defaults to 1 — the stop-and-wait baseline —
+    so experiment tables are byte-identical to the pre-pipeline seed
+    unless a depth is requested. Call before any plan runs (it is read,
+    never written, from worker domains).
+    @raise Invalid_argument on a non-positive depth. *)
+
 val fresh_world :
   ?fi:int ->
   ?fg:int ->
   ?seed:int64 ->
   ?n_participants:int ->
+  ?batch_max:int ->
+  ?max_in_flight:int ->
   ?app:(unit -> Blockplane.App.instance) ->
   unit ->
   world
@@ -30,6 +40,18 @@ val sequential :
 (** Run [warmup + n] operations strictly one after another; [run_one i]
     must eventually call [on_done latency_ms]. Returns the statistics of
     the measured (post-warmup) operations. Drives the engine itself. *)
+
+val closed_loop :
+  Bp_sim.Engine.t ->
+  total:int ->
+  outstanding:int ->
+  run_one:(int -> on_done:(float -> unit) -> unit) ->
+  Bp_util.Stats.t * Bp_sim.Time.t
+(** Run [total] operations keeping up to [outstanding] in flight at
+    once (each completion launches the next). Returns the per-operation
+    latency statistics and the makespan in simulated time — the basis
+    for throughput under concurrency, where {!sequential} can only
+    measure stop-and-wait latency. Drives the engine itself. *)
 
 val scaled : float -> int -> int
 (** [scaled s n] = max 1 (round (s * n)) — workload scaling. *)

@@ -7,14 +7,31 @@ type t = {
   request_timeout : Bp_sim.Time.t;
   checkpoint_interval : int;
   watermark_window : int;
+  max_in_flight : int;
 }
 
 let make ~nodes ~keystore ?(tag = "pbft") ?(batch_max = 64)
     ?(request_timeout = Bp_sim.Time.of_ms 500.0) ?(checkpoint_interval = 32)
-    ?(watermark_window = 128) () =
+    ?(watermark_window = 128) ?(max_in_flight = 8) () =
   let n = Array.length nodes in
   if n < 4 || (n - 1) mod 3 <> 0 then
     invalid_arg "Pbft.Config.make: need n = 3f+1 >= 4 nodes";
+  if batch_max <= 0 then
+    invalid_arg "Pbft.Config.make: batch_max must be positive";
+  if checkpoint_interval <= 0 then
+    (* A zero interval would silently disable checkpointing — and with it
+       watermark advancement and garbage collection. *)
+    invalid_arg "Pbft.Config.make: checkpoint_interval must be positive";
+  if watermark_window <= 0 then
+    invalid_arg "Pbft.Config.make: watermark_window must be positive";
+  if max_in_flight <= 0 then
+    invalid_arg "Pbft.Config.make: max_in_flight must be positive";
+  if checkpoint_interval > watermark_window then
+    (* The window must span at least one checkpoint, or the protocol
+       wedges: no stable checkpoint can form inside the window, so the
+       watermarks never advance once the window fills. *)
+    invalid_arg
+      "Pbft.Config.make: checkpoint_interval must not exceed watermark_window";
   let t =
     {
       nodes;
@@ -25,6 +42,9 @@ let make ~nodes ~keystore ?(tag = "pbft") ?(batch_max = 64)
       request_timeout;
       checkpoint_interval;
       watermark_window;
+      (* The pipeline can never usefully exceed the watermark window: slots
+         beyond it are rejected by every replica's in_window check. *)
+      max_in_flight = Stdlib.min max_in_flight watermark_window;
     }
   in
   Array.iter

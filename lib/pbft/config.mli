@@ -10,6 +10,11 @@ type t = {
   request_timeout : Bp_sim.Time.t;  (** view-change trigger *)
   checkpoint_interval : int;  (** stable-checkpoint cadence, in sequences *)
   watermark_window : int;  (** high watermark = low + window *)
+  max_in_flight : int;
+      (** pipeline depth: how many sequence numbers the primary may have
+          simultaneously in the pre-prepare/prepare/commit phases. 1
+          reproduces classic stop-and-wait batching; clamped to
+          [watermark_window]. *)
 }
 
 val make :
@@ -20,12 +25,23 @@ val make :
   ?request_timeout:Bp_sim.Time.t ->
   ?checkpoint_interval:int ->
   ?watermark_window:int ->
+  ?max_in_flight:int ->
   unit ->
   t
 (** [f] is derived as [(n-1)/3]; requires [n = 3f+1 >= 4]. Registers every
     node identity (and the [tag]-derived client identities are registered
     lazily by {!identity}). Defaults: tag ["pbft"], batch 64 requests,
-    request timeout 500 ms, checkpoints every 32, window 128. *)
+    request timeout 500 ms, checkpoints every 32, window 128, pipeline
+    depth 8.
+
+    @raise Invalid_argument if [n] is not of the form [3f+1 >= 4], if any
+    of [batch_max], [checkpoint_interval], [watermark_window] or
+    [max_in_flight] is non-positive, or if
+    [checkpoint_interval > watermark_window] (the window could then never
+    contain a stable checkpoint and the protocol would wedge once it
+    fills). [max_in_flight] larger than [watermark_window] is clamped to
+    the window rather than rejected — the window is the hard bound on
+    concurrently-open slots. *)
 
 val n : t -> int
 val quorum : t -> int

@@ -18,6 +18,8 @@ type slot = {
   mutable sent_commit : bool;
   mutable committed : bool;
   mutable executed : bool;
+  mutable in_pipeline : bool;
+      (* counted in [t.pipeline]: has a digest, not yet committed *)
 }
 
 type status = Normal | View_changing of int
@@ -47,7 +49,15 @@ type t = {
   (* primary batching *)
   queue : Msg.request Queue.t;
   mutable queued_keys : (string * int) list; (* dedup of queued requests *)
-  mutable in_flight : bool;
+  (* Windowed pipeline: number of slots currently in the
+     pre-prepare/prepare/commit phases (digest assigned, not yet
+     committed). The primary proposes while this stays below
+     [Config.max_in_flight]; execution remains strictly in sequence
+     order regardless of commit order. *)
+  mutable pipeline : int;
+  (* occupancy telemetry: pipeline depth sampled whenever a slot enters *)
+  mutable occ_sum : int;
+  mutable occ_samples : int;
   (* client bookkeeping *)
   last_reply : (string, int * string) Hashtbl.t; (* client key -> ts, reply envelope *)
   (* request timers: key -> timer *)
@@ -77,6 +87,34 @@ let exec_chain t = t.chain
 let set_verifier t v = t.verifier <- v
 let set_on_executed t f = t.on_executed <- f
 let suppress_commit_votes t b = t.suppress_commits <- b
+
+let pipeline_now t = t.pipeline
+
+let pipeline_occupancy t =
+  if t.occ_samples = 0 then 0.0
+  else float_of_int t.occ_sum /. float_of_int t.occ_samples
+
+let occupancy_samples t = t.occ_samples
+let open_slot_count t = Int_map.cardinal t.slots
+let archive_size t = Hashtbl.length t.archive
+
+(* A slot enters the pipeline when it gains a digest (the primary's own
+   proposal, an accepted pre-prepare, or a new-view re-proposal) and
+   leaves when it commits. The per-slot flag keeps the counter exact
+   even when the same slot is touched through several of those paths. *)
+let pipeline_enter t s =
+  if not s.in_pipeline then begin
+    s.in_pipeline <- true;
+    t.pipeline <- t.pipeline + 1;
+    t.occ_sum <- t.occ_sum + t.pipeline;
+    t.occ_samples <- t.occ_samples + 1
+  end
+
+let pipeline_leave t s =
+  if s.in_pipeline then begin
+    s.in_pipeline <- false;
+    t.pipeline <- t.pipeline - 1
+  end
 
 let self_addr t = t.cfg.Config.nodes.(t.id)
 
@@ -143,6 +181,7 @@ let slot_of t seq =
           sent_commit = false;
           committed = false;
           executed = false;
+          in_pipeline = false;
         }
       in
       t.slots <- Int_map.add seq s t.slots;
@@ -387,7 +426,11 @@ and enter_new_view t target batches =
   t.vc_timer <- None;
   t.view <- target;
   t.status <- Normal;
-  t.in_flight <- false;
+  (* Recompute pipeline membership from scratch: only the slots
+     re-proposed below (and not already committed) are in flight in the
+     new view. Dead slots from the old view must not pin the counter. *)
+  Int_map.iter (fun _ s -> s.in_pipeline <- false) t.slots;
+  t.pipeline <- 0;
   let max_seq = List.fold_left (fun acc (s, _, _) -> Stdlib.max acc s) 0 batches in
   t.next_seq <- Stdlib.max t.next_seq (Stdlib.max max_seq t.last_exec + 1);
   List.iter
@@ -401,12 +444,16 @@ and enter_new_view t target batches =
         s.commits <- [];
         s.sent_prepare <- false;
         s.sent_commit <- false;
+        if not s.committed then pipeline_enter t s;
         (* Everyone, including the new primary, prepares the re-proposed
            batches in the new view. *)
         send_prepare t s
       end)
     batches;
-  Log.debug (fun m -> m "pbft %d: entered view %d" t.id target)
+  Log.debug (fun m -> m "pbft %d: entered view %d" t.id target);
+  (* The new primary may hold queued requests (leftovers from an earlier
+     primaryship); fill whatever pipeline capacity the re-proposals left. *)
+  if is_primary t then try_form_batch t
 
 (* ---------- normal case ---------- *)
 
@@ -428,11 +475,25 @@ and check_prepared t s =
         && List.length (matching_prepares s) >= 2 * t.cfg.Config.f
       then begin
         (* Blockplane hook: run the verification routines before voting to
-           commit (§IV-B). *)
+           commit (§IV-B). With a pipeline, a failing verdict is only
+           *provisional* while earlier slots are in flight — the state it
+           was judged against may still change — so it withholds the vote
+           and is re-judged as execution advances (see try_execute). Once
+           the slot is next in execution order the verdict is final and
+           identical on every honest replica; a finally-invalid batch must
+           still commit (a peer that judged it against an earlier state
+           may already have voted, so it may be committed elsewhere) —
+           execution then downgrades its requests to deterministic no-op
+           rejections. Without that, a prepared-but-invalid slot wedges
+           the window behind endless view changes. At depth 1 the seed
+           semantics are unchanged: a failing verdict always withholds. *)
         let all_valid =
           List.for_all (fun r -> t.verifier ~kind:r.Msg.kind ~op:r.Msg.op) s.batch
         in
-        if all_valid then begin
+        let verdict_final =
+          t.cfg.Config.max_in_flight > 1 && s.seq = t.last_exec + 1
+        in
+        if all_valid || verdict_final then begin
           s.sent_commit <- true;
           if not t.suppress_commits then
             broadcast t
@@ -447,17 +508,19 @@ and check_committed t s =
     && List.length (matching_commits s) >= Config.quorum t.cfg
   then begin
     s.committed <- true;
+    pipeline_leave t s;
     try_execute t;
-    if is_primary t && is_normal t then begin
-      t.in_flight <- false;
-      try_form_batch t
-    end
+    (* A pipeline slot just freed: the primary cuts the next batch now
+       rather than waiting for [batch_max] requests (adaptive batching). *)
+    if is_primary t && is_normal t then try_form_batch t
   end
 
 and try_execute t =
+  let executed_any = ref false in
   let rec go () =
     match Int_map.find_opt (t.last_exec + 1) t.slots with
     | Some s when s.committed && not s.executed ->
+        executed_any := true;
         s.executed <- true;
         t.last_exec <- s.seq;
         (* Retain the executed batch for state transfer, bounded. *)
@@ -466,7 +529,18 @@ and try_execute t =
         if horizon > 0 then Hashtbl.remove t.archive horizon;
         List.iter
           (fun r ->
-            let result = t.execute ~seq:s.seq r in
+            (* Pipelined mode re-verifies at execution: the commit-time
+               verdict may have been cast against a stale state (or
+               force-granted once final, see check_prepared). Every honest
+               replica evaluates this at the identical sequential state,
+               so the downgrade to a no-op rejection is unanimous. *)
+            let result =
+              if
+                t.cfg.Config.max_in_flight > 1
+                && not (t.verifier ~kind:r.Msg.kind ~op:r.Msg.op)
+              then "__rejected"
+              else t.execute ~seq:s.seq r
+            in
             cancel_request_timer t (request_key r);
             send_reply t r result)
           s.batch;
@@ -481,14 +555,34 @@ and try_execute t =
         go ()
     | _ -> ()
   in
-  go ()
+  go ();
+  (* Verification routines read application state, so a pipelined slot
+     whose batch was rejected while an earlier slot was still in flight
+     must be re-judged now that execution advanced — otherwise the
+     withheld commit vote is never reconsidered and the slot wedges
+     until a view change. With a single slot in flight (depth 1) no
+     other slot can be waiting, so this never fires there. *)
+  if !executed_any then
+    Int_map.iter
+      (fun _ s ->
+        if (not s.executed) && not s.sent_commit then begin
+          check_prepared t s;
+          check_committed t s
+        end)
+      t.slots
 
 and try_form_batch t =
-  if
-    is_primary t && is_normal t && (not t.in_flight)
-    && not (Queue.is_empty t.queue)
+  (* Windowed pipelining: keep cutting batches while the pipeline has a
+     free slot, requests are waiting, and the next sequence fits under
+     the high watermark. Each iteration either consumes queued requests
+     or opens a slot, so the loop terminates. At [max_in_flight = 1]
+     this is exactly the classic stop-and-wait primary. *)
+  while
+    is_primary t && is_normal t
+    && t.pipeline < t.cfg.Config.max_in_flight
+    && (not (Queue.is_empty t.queue))
     && t.next_seq <= t.low_watermark + t.cfg.Config.watermark_window
-  then begin
+  do
     let batch = ref [] in
     while (not (Queue.is_empty t.queue)) && List.length !batch < t.cfg.Config.batch_max do
       let r = Queue.pop t.queue in
@@ -502,19 +596,18 @@ and try_form_batch t =
     if not (List.is_empty batch) then begin
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
-      t.in_flight <- true;
       let digest = digest_of_batch t batch in
       let s = slot_of t seq in
       s.sview <- t.view;
       s.digest <- Some digest;
       s.batch <- batch;
+      pipeline_enter t s;
       broadcast t (Msg.Pre_prepare { view = t.view; seq; digest; batch })
       (* The primary's pre-prepare stands in for its prepare: backups
          count it via the digest; the primary collects 2f backup prepares
          like everyone else. *)
     end
-    else if not (Queue.is_empty t.queue) then try_form_batch t
-  end
+  done
 
 and arm_request_timer t (r : Msg.request) =
   let key = request_key r in
@@ -594,10 +687,15 @@ and handle_pre_prepare t ~view ~seq ~digest ~batch =
           (* Equivocating primary: refuse, and push for a view change. *)
           move_to_view t (t.view + 1)
     | _ ->
-        if not s.executed then begin
+        (* A committed-but-unexecuted slot (possible while earlier slots
+           are still in flight, or after a fetch drain) already holds the
+           digest a quorum agreed on; a late pre-prepare must not
+           overwrite it or re-enter it into the pipeline. *)
+        if (not s.executed) && not s.committed then begin
           s.sview <- view;
           s.digest <- Some digest;
           s.batch <- batch;
+          pipeline_enter t s;
           List.iter (fun r -> cancel_request_timer t (request_key r)) batch;
           List.iter (fun r -> arm_request_timer t r) batch;
           send_prepare t s;
@@ -643,11 +741,16 @@ and handle_checkpoint t ~seq ~state_digest ~replica =
         List.length (List.filter (fun (_, d) -> String.equal d state_digest) entries)
       in
       if matching >= Config.quorum t.cfg && Int_map.mem seq t.own_checkpoints then begin
-        (* Stable checkpoint: advance watermarks and collect garbage. *)
+        (* Stable checkpoint: advance watermarks and collect garbage.
+           Only executed slots sit at or below a stable checkpoint, so
+           the filter can never drop an in-pipeline slot. *)
         t.low_watermark <- seq;
         t.slots <- Int_map.filter (fun s _ -> s > seq) t.slots;
         t.checkpoints <- Int_map.filter (fun s _ -> s > seq) t.checkpoints;
-        t.own_checkpoints <- Int_map.filter (fun s _ -> s >= seq) t.own_checkpoints
+        t.own_checkpoints <- Int_map.filter (fun s _ -> s >= seq) t.own_checkpoints;
+        (* The high watermark moved: sequences that were window-blocked
+           are proposable again. *)
+        if is_primary t && is_normal t then try_form_batch t
       end
     end
   end
@@ -722,7 +825,9 @@ and handle_fetch_reply t ~batches ~replica =
           s.digest <- Some digest;
           s.batch <- batch;
           s.committed <- true;
-          s.sent_commit <- true
+          s.sent_commit <- true;
+          (* The slot may have been mid-pipeline when we fell behind. *)
+          pipeline_leave t s
         end;
         Hashtbl.remove t.fetch_votes next;
         try_execute t;
@@ -829,7 +934,9 @@ let create ?cache transport cfg ~id ~execute () =
       chain = Bp_crypto.Sha256.digest "pbft-genesis";
       queue = Queue.create ();
       queued_keys = [];
-      in_flight = false;
+      pipeline = 0;
+      occ_sum = 0;
+      occ_samples = 0;
       last_reply = Hashtbl.create 32;
       timers = Hashtbl.create 32;
       checkpoints = Int_map.empty;

@@ -16,7 +16,15 @@
     Also implemented: stable checkpoints with watermarks and garbage
     collection, and view changes (with prepared-certificates carried in
     the view-change messages, so a new primary re-proposes exactly the
-    possibly-committed batches). *)
+    possibly-committed batches).
+
+    The primary runs a windowed pipeline: up to
+    {!Config.t.max_in_flight} sequence numbers may be in the
+    pre-prepare/prepare/commit phases at once (never beyond the
+    watermark window). Slots may commit out of order; execution — and
+    therefore the hash chain and every checkpoint digest — stays
+    strictly in sequence order at any depth. Depth 1 is the classic
+    stop-and-wait primary. *)
 
 type t
 
@@ -51,6 +59,27 @@ val low_watermark : t -> int
 val exec_chain : t -> string
 (** Hash chain over executed batches — two replicas executed the same
     prefix iff their chains agree. Also the checkpoint state digest. *)
+
+val pipeline_now : t -> int
+(** Slots currently in the pre-prepare/prepare/commit phases on this
+    replica (digest assigned, not yet committed). *)
+
+val pipeline_occupancy : t -> float
+(** Mean pipeline depth sampled at each slot entry — 1.0 exactly for a
+    stop-and-wait run, approaching [max_in_flight] when the pipeline is
+    kept full. 0.0 if no slot ever entered. *)
+
+val occupancy_samples : t -> int
+(** Number of samples behind {!pipeline_occupancy} (= slots that entered
+    the pipeline on this replica). *)
+
+val open_slot_count : t -> int
+(** Slots currently tracked between the watermarks, including the
+    out-of-order commit buffer; bounded by the watermark window plus
+    checkpoint lag. *)
+
+val archive_size : t -> int
+(** Executed batches retained for state transfer (bounded GC horizon). *)
 
 val set_verifier : t -> (kind:int -> op:string -> bool) -> unit
 (** Install the Blockplane verification routine (default: accept all). *)

@@ -23,7 +23,7 @@ let test_registry_complete () =
     [
       "table1"; "fig4"; "table2"; "fig5"; "fig6"; "fig7"; "fig8";
       "ablation-reads"; "ablation-batch"; "ablation-sig"; "ablation-loss";
-      "ablation-load"; "locality"; "costs";
+      "ablation-load"; "ablation-pipeline"; "locality"; "costs";
     ]
     ids;
   Alcotest.(check bool) "find works" true (Experiments.find "fig7" <> None);
@@ -217,6 +217,73 @@ let test_experiments_identical_without_cache () =
   let off5 = uncached (fun () -> render_all (Exp_geo.fig5 ~scale:0.2 ())) in
   Alcotest.(check string) "fig5 identical with caches off" on5 off5
 
+(* The harness defaults to pipeline depth 1, and at depth 1 the pipelined
+   replica is the seed's stop-and-wait one: fig4 at scale 0.08 must
+   render byte-for-byte what the pre-pipeline tree rendered. Any change
+   to these bytes means the "depth 1 = baseline" contract broke — treat
+   a diff here as a bug, not as a table to re-pin. *)
+let fig4_depth1_golden =
+  "== fig4a: Local commitment latency vs batch size ==\n\
+   \   (Fig. 4(a), SVIII-A: Virginia, fi=1, 4 nodes)\n\
+   +------------+-----------------------+--------------------+\n\
+   | batch size | latency ms (measured) | latency ms (paper) |\n\
+   +============+=======================+====================+\n\
+   | 1 KB       | 1.3                   | <1                 |\n\
+   | 10 KB      | 1.3                   | <1                 |\n\
+   | 100 KB     | 1.6                   | ~1.2               |\n\
+   | 500 KB     | 3.9                   | -                  |\n\
+   | 1000 KB    | 7.5                   | 4.5                |\n\
+   | 2000 KB    | 15.5                  | 8.2                |\n\
+   +------------+-----------------------+--------------------+\n\
+   \   note: expected shape: ~1 ms up to 100 KB, then growing with NIC \
+   serialization\n\
+   == fig4b: Local commitment throughput vs batch size ==\n\
+   \   (Fig. 4(b), SVIII-A)\n\
+   +------------+-----------------+--------------+\n\
+   | batch size | MB/s (measured) | MB/s (paper) |\n\
+   +============+=================+==============+\n\
+   | 1 KB       | 0.8             | ~1.4         |\n\
+   | 10 KB      | 7.8             | -            |\n\
+   | 100 KB     | 61.5            | 83           |\n\
+   | 500 KB     | 129.0           | -            |\n\
+   | 1000 KB    | 132.8           | ~215         |\n\
+   | 2000 KB    | 129.0           | ~240         |\n\
+   +------------+-----------------+--------------+\n\
+   \   note: expected shape: steep growth to 100 KB (~60x from 1 KB), \
+   +~160% to 1 MB, ~+10% to 2 MB\n"
+
+let test_fig4_depth1_matches_seed () =
+  Runner.set_default_pipeline 1;
+  let rendered =
+    String.concat "" (List.map Report.render (Exp_local.fig4 ~scale:0.08 ()))
+  in
+  Alcotest.(check string) "depth-1 fig4 bytes = pre-pipeline seed"
+    fig4_depth1_golden rendered
+
+let test_pipeline_ablation_shape () =
+  let r = find_report "pipeline" (Exp_local.pipeline ~scale:0.3 ()) in
+  Alcotest.(check (list string)) "one row per depth" [ "1"; "2"; "4"; "8" ]
+    (List.map row_label r.Report.rows);
+  let d1 = List.hd r.Report.rows in
+  Alcotest.(check string) "depth 1 is its own baseline" "1.00x" (List.nth d1 2);
+  let metric name =
+    match List.assoc_opt name r.Report.metrics with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  (* The acceptance bar: the default depth beats stop-and-wait by >=1.3x
+     in closed-loop throughput, with the window actually occupied. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "depth-8 speedup %.2fx >= 1.3" (metric "d8_speedup_vs_d1"))
+    true
+    (metric "d8_speedup_vs_d1" >= 1.3);
+  Alcotest.(check bool) "depth-8 occupancy > 2" true
+    (metric "d8_pipeline_occupancy" > 2.0);
+  Alcotest.(check bool) "depth-1 occupancy = 1" true
+    (abs_float (metric "d1_pipeline_occupancy" -. 1.0) < 0.01);
+  Alcotest.(check bool) "latency percentiles recorded" true
+    (metric "d8_p99_ms" >= metric "d8_p50_ms")
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   [
@@ -225,6 +292,8 @@ let suite =
         tc "registry complete" test_registry_complete;
         tc "table1 matches paper" test_table1_matches_paper;
         tc "fig4 shapes" test_fig4_shapes;
+        tc "fig4 depth-1 bytes = seed" test_fig4_depth1_matches_seed;
+        tc "pipeline ablation shape" test_pipeline_ablation_shape;
         tc "table2 shape" test_table2_shape;
         tc "fig5 shape" test_fig5_shape;
         tc "fig6 shape" test_fig6_shape;

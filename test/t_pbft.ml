@@ -16,7 +16,8 @@ type cluster = {
 (* A Blockplane-unit-like deployment: n replicas inside one datacenter
    (default), or spread one per datacenter with [geo]. *)
 let make_cluster ?(n = 4) ?(geo = false) ?faults ?(seed = 31L)
-    ?(request_timeout = ms 500.0) ?(checkpoint_interval = 32) () =
+    ?(request_timeout = ms 500.0) ?(checkpoint_interval = 32) ?batch_max
+    ?watermark_window ?max_in_flight () =
   let engine = Engine.create ~seed () in
   let net = Network.create engine Topology.aws_paper ?faults () in
   let keystore = Bp_crypto.Signer.create (Bp_util.Rng.split (Engine.rng engine)) in
@@ -25,7 +26,8 @@ let make_cluster ?(n = 4) ?(geo = false) ?faults ?(seed = 31L)
         if geo then Addr.make ~dc:(i mod 4) ~idx:0 else Addr.make ~dc:2 ~idx:i)
   in
   let cfg =
-    Config.make ~nodes:addrs ~keystore ~request_timeout ~checkpoint_interval ()
+    Config.make ~nodes:addrs ~keystore ~request_timeout ~checkpoint_interval
+      ?batch_max ?watermark_window ?max_in_flight ()
   in
   let executed = Array.init n (fun _ -> ref []) in
   let transports = Array.map (fun a -> Bp_net.Transport.create net a) addrs in
@@ -368,11 +370,33 @@ let test_larger_cluster_n7 () =
 let test_config_validation () =
   let engine = Engine.create () in
   let keystore = Bp_crypto.Signer.create (Bp_util.Rng.split (Engine.rng engine)) in
-  (try
-     ignore
-       (Config.make ~nodes:(Array.init 5 (fun i -> Addr.make ~dc:0 ~idx:i)) ~keystore ());
-     Alcotest.fail "n=5 accepted"
-   with Invalid_argument _ -> ());
+  let nodes4 = Array.init 4 (fun i -> Addr.make ~dc:0 ~idx:i) in
+  let expect_invalid what mk =
+    try
+      ignore (mk ());
+      Alcotest.failf "%s accepted" what
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "n=5" (fun () ->
+      Config.make ~nodes:(Array.init 5 (fun i -> Addr.make ~dc:0 ~idx:i)) ~keystore ());
+  expect_invalid "batch_max=0" (fun () ->
+      Config.make ~nodes:nodes4 ~keystore ~batch_max:0 ());
+  expect_invalid "checkpoint_interval=-1" (fun () ->
+      Config.make ~nodes:nodes4 ~keystore ~checkpoint_interval:(-1) ());
+  expect_invalid "watermark_window=0" (fun () ->
+      Config.make ~nodes:nodes4 ~keystore ~watermark_window:0 ());
+  expect_invalid "max_in_flight=0" (fun () ->
+      Config.make ~nodes:nodes4 ~keystore ~max_in_flight:0 ());
+  expect_invalid "checkpoint beyond window" (fun () ->
+      Config.make ~nodes:nodes4 ~keystore ~checkpoint_interval:64
+        ~watermark_window:32 ());
+  (* A pipeline deeper than the window is clamped, not rejected: the
+     window is the hard bound on concurrently-open slots. *)
+  let clamped =
+    Config.make ~nodes:nodes4 ~keystore ~checkpoint_interval:8
+      ~watermark_window:16 ~max_in_flight:64 ()
+  in
+  Alcotest.(check int) "depth clamped to window" 16 clamped.Config.max_in_flight;
   let cfg = Config.make ~nodes:(Array.init 7 (fun i -> Addr.make ~dc:0 ~idx:i)) ~keystore () in
   Alcotest.(check int) "f" 7 (Config.n cfg);
   Alcotest.(check int) "quorum" 5 (Config.quorum cfg);
@@ -395,6 +419,158 @@ let test_broadcast_seals_and_encodes_once () =
   let d7 = pbft_broadcast_encode_delta ~n:7 in
   Alcotest.(check int) "body + envelope + transport suffix" 3 d4;
   Alcotest.(check int) "independent of cluster size" d4 d7
+
+(* ---------- windowed pipelining (multi-slot consensus) ---------- *)
+
+(* With commit votes suppressed on every replica, a depth-d primary
+   drives several slots to prepared and no further — a pipeline's worth
+   of prepared-but-unexecuted sequences. The view change must then carry
+   every prepared slot into the new view and commit them all, in order,
+   once votes flow again. *)
+let test_view_change_with_pipelined_slots () =
+  List.iter
+    (fun depth ->
+      let c =
+        make_cluster ~batch_max:1 ~max_in_flight:depth
+          ~request_timeout:(ms 200.0)
+          ~seed:(Int64.of_int (500 + depth))
+          ()
+      in
+      Array.iter (fun r -> Replica.suppress_commit_votes r true) c.replicas;
+      let client = make_client c ~dc:2 ~idx:100 in
+      let served = ref 0 in
+      for i = 1 to 6 do
+        Client.submit client
+          (Printf.sprintf "d%d-op%d" depth i)
+          ~on_result:(fun _ -> incr served)
+      done;
+      Engine.run ~until:(ms 100.0) c.engine;
+      Alcotest.(check int)
+        (Printf.sprintf "depth %d: nothing executes without commits" depth)
+        0
+        (Replica.last_executed c.replicas.(0));
+      Alcotest.(check bool)
+        (Printf.sprintf "depth %d: >=3 slots concurrently open" depth)
+        true
+        (Replica.open_slot_count c.replicas.(0) >= 3
+        && Replica.open_slot_count c.replicas.(1) >= 3);
+      Array.iter (fun r -> Replica.suppress_commit_votes r false) c.replicas;
+      Engine.run ~until:(Time.of_sec 15.0) c.engine;
+      Alcotest.(check int)
+        (Printf.sprintf "depth %d: all served after view change" depth)
+        6 !served;
+      Alcotest.(check bool)
+        (Printf.sprintf "depth %d: moved past view 0" depth)
+        true
+        (Replica.view c.replicas.(1) >= 1);
+      check_agreement c)
+    [ 4; 8 ]
+
+(* Sustained pipelined load must not grow state without bound: open
+   slots stay inside the watermark window, and the state-transfer
+   archive keeps only a few windows' worth of executed batches. *)
+let test_pipeline_bounded_by_watermarks () =
+  let window = 8 in
+  let c =
+    make_cluster ~batch_max:1 ~max_in_flight:8 ~checkpoint_interval:4
+      ~watermark_window:window ~seed:77L ()
+  in
+  let client = make_client c ~dc:2 ~idx:100 in
+  let served = ref 0 in
+  let total = 80 in
+  for i = 1 to total do
+    Client.submit client (Printf.sprintf "op%d" i) ~on_result:(fun _ ->
+        incr served)
+  done;
+  let max_open = ref 0 and max_archive = ref 0 in
+  let rec sample () =
+    Array.iter
+      (fun r ->
+        max_open := Stdlib.max !max_open (Replica.open_slot_count r);
+        max_archive := Stdlib.max !max_archive (Replica.archive_size r))
+      c.replicas;
+    ignore (Engine.schedule c.engine ~after:(ms 1.0) sample)
+  in
+  sample ();
+  Engine.run ~until:(Time.of_sec 30.0) c.engine;
+  Alcotest.(check int) "all served" total !served;
+  Alcotest.(check bool)
+    (Printf.sprintf "pipeline filled (%d open slots at peak)" !max_open)
+    true (!max_open >= 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "open slots (%d) bounded by the window" !max_open)
+    true
+    (!max_open <= window);
+  Alcotest.(check bool)
+    (Printf.sprintf "archive (%d) bounded" !max_archive)
+    true
+    (!max_archive <= 4 * window);
+  Alcotest.(check bool) "watermark advanced under GC" true
+    (Replica.low_watermark c.replicas.(0) >= total - window);
+  check_agreement c
+
+(* The point of the pipeline: with a dozen 100 KB batches waiting,
+   depth 8 overlaps their three-phase rounds and finishes well before
+   the stop-and-wait depth-1 primary in simulated time. *)
+let test_pipeline_overlaps_rounds () =
+  let run depth =
+    let c = make_cluster ~batch_max:1 ~max_in_flight:depth ~seed:91L () in
+    let client = make_client c ~dc:2 ~idx:100 in
+    let served = ref 0 in
+    let done_at = ref Time.zero in
+    for i = 1 to 12 do
+      Client.submit client
+        (Printf.sprintf "%06d-" i ^ String.make 100_000 'x')
+        ~on_result:(fun _ ->
+          incr served;
+          done_at := Engine.now c.engine)
+    done;
+    Engine.run ~until:(Time.of_sec 10.0) c.engine;
+    Alcotest.(check int) (Printf.sprintf "depth %d: all served" depth) 12 !served;
+    check_agreement c;
+    Time.to_ms !done_at
+  in
+  let t1 = run 1 in
+  let t8 = run 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth 8 (%.1f ms) well under depth 1 (%.1f ms)" t8 t1)
+    true
+    (t8 < 0.8 *. t1)
+
+(* Differential pinning: the pipeline must change scheduling, never
+   results. Requests are all submitted up front, so their arrival order
+   at the primary is depth-independent (per-sender FIFO NICs), and the
+   flattened stream of executed requests at depth d must equal depth 1
+   exactly — batch boundaries may differ (adaptive batch cut), the
+   per-request execution order may not. *)
+let pipeline_differential =
+  QCheck.Test.make ~name:"depth-N execution stream = depth-1" ~count:25
+    QCheck.(
+      quad (int_range 2 8) (int_range 1 30) (int_range 1 3) (int_range 0 999))
+    (fun (depth, n_ops, batch_max, seed) ->
+      let run max_in_flight =
+        let c =
+          make_cluster ~batch_max ~max_in_flight
+            ~seed:(Int64.of_int (3000 + seed))
+            ()
+        in
+        let stream = ref [] in
+        Replica.set_on_executed c.replicas.(1) (fun ~seq:_ batch ->
+            List.iter (fun r -> stream := r.Msg.op :: !stream) batch);
+        let client = make_client c ~dc:2 ~idx:100 in
+        let served = ref 0 in
+        for i = 1 to n_ops do
+          Client.submit client (Printf.sprintf "op-%d" i) ~on_result:(fun _ ->
+              incr served)
+        done;
+        Engine.run ~until:(Time.of_sec 20.0) c.engine;
+        if !served <> n_ops then
+          QCheck.Test.fail_reportf "depth %d: served %d of %d" max_in_flight
+            !served n_ops;
+        check_agreement c;
+        List.rev !stream
+      in
+      run 1 = run depth)
 
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -425,6 +601,14 @@ let suite =
         tc "equivocating primary cannot diverge state" test_equivocating_primary_no_divergence;
         tc "checkpoint garbage collection" test_checkpoint_garbage_collection;
         tc "randomized safety under faults" test_safety_under_faults_randomized;
+      ] );
+    ( "pbft.pipeline",
+      [
+        tc "view change carries pipelined prepared slots"
+          test_view_change_with_pipelined_slots;
+        tc "bounded by watermark window" test_pipeline_bounded_by_watermarks;
+        tc "overlapping rounds beat stop-and-wait" test_pipeline_overlaps_rounds;
+        QCheck_alcotest.to_alcotest pipeline_differential;
       ] );
     ( "pbft.geo",
       [ tc "flat geo PBFT latency" test_geo_pbft_latency ] );
