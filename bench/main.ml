@@ -12,13 +12,14 @@
      dune exec bench/main.exe                 # everything, default scale
      dune exec bench/main.exe -- fig7         # one experiment
      dune exec bench/main.exe -- micro        # only the micro-benchmarks
-     dune exec bench/main.exe -- --json out.json   # also dump bp-bench/2 JSON
+     dune exec bench/main.exe -- --json out.json   # also dump bp-bench/5 JSON
      dune exec bench/main.exe -- --jobs 4     # fan experiment tasks over 4 domains
      dune exec bench/main.exe -- -j 1         # strictly sequential (reference)
      dune exec bench/main.exe -- --json out.json --baseline base.json
                                               # also record speedup_vs_baseline
      dune exec bench/main.exe -- --no-cache   # disable verify/digest caches
      dune exec bench/main.exe -- --pipeline 4 # consensus pipeline depth
+     dune exec bench/main.exe -- --verify-jobs 4   # batch-crypto fan-out
      BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep
 
    --jobs defaults to Domain.recommended_domain_count. Parallel runs are
@@ -49,11 +50,16 @@ let run_experiment ?pool e =
      slate first — identically in cached and --no-cache runs, so
      baseline ratios stay honest. *)
   Gc.compact ();
+  (* Per-experiment verify-batch stats: reset the shared context before
+     the run and snapshot after, so the JSON records how each
+     experiment's receive path used the batch machinery. *)
+  Bp_crypto.Verify_batch.reset_stats (Bp_crypto.Verify_batch.global ());
   let t0 = Unix.gettimeofday () in
   let reports = Bp_harness.Experiments.run ?pool e ~scale in
   List.iter (fun r -> print_string (Bp_harness.Report.render r)) reports;
   let wall = Unix.gettimeofday () -. t0 in
   Printf.printf "   (regenerated in %.1fs wall time)\n%!" wall;
+  let vb = Bp_crypto.Verify_batch.stats (Bp_crypto.Verify_batch.global ()) in
   (* Per-operation counters (latency percentiles, pipeline occupancy)
      for the JSON record, keyed "<report-id>.<name>" since an experiment
      can emit several reports (fig4a/fig4b). *)
@@ -65,9 +71,9 @@ let run_experiment ?pool e =
           r.Bp_harness.Report.metrics)
       reports
   in
-  (e.Bp_harness.Experiments.id, wall, metrics)
+  (e.Bp_harness.Experiments.id, wall, metrics, vb)
 
-let run_paper_benches ?pool ~jobs ~pipeline ids =
+let run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ids =
   let known = List.map (fun e -> e.Bp_harness.Experiments.id) Bp_harness.Experiments.all in
   (match List.filter (fun id -> not (List.mem id known)) ids with
   | [] -> ()
@@ -84,6 +90,10 @@ let run_paper_benches ?pool ~jobs ~pipeline ids =
     "pipeline=%d (--pipeline N; consensus depth for every world; the \
      ablation sweeps its own)\n"
     pipeline;
+  Printf.printf
+    "verify-jobs=%d (--verify-jobs N; batch-crypto fan-out and modeled \
+     verify parallelism; golden tables are identical at any N)\n"
+    verify_jobs;
   Printf.printf "cache=%s (--no-cache to disable; tables are identical either way)\n"
     (if Bp_crypto.Verify_cache.enabled () then "on" else "off");
   Printf.printf "=====================================================\n";
@@ -140,7 +150,34 @@ let micro_tests () =
         })
   in
   let bmemo = Verify_cache.memo () in
-  [
+  (* Batch-verification rows: the same job list through a sequential
+     (jobs 1) and a fanned (jobs 4) Verify_batch context — their gap is
+     the real wall-clock win of the domain-pool crypto path. Hash-based
+     signatures make the keyed rows compute-bound (HMAC verifies are too
+     cheap to amortize a fan-out); no cache, so every call re-verifies. *)
+  let bb_keystore = Signer.create ~scheme:`Hash_based (Bp_util.Rng.split rng) in
+  let bb_signer = "bench/batch" in
+  Signer.add_identity bb_keystore bb_signer;
+  let bb_jobs16 =
+    List.init 16 (fun i ->
+        let msg = Printf.sprintf "batch-msg-%d" i in
+        Verify_batch.Keyed
+          { signer = bb_signer; msg; signature = Signer.sign bb_keystore ~signer:bb_signer msg })
+  in
+  let lamport_jobs8 =
+    List.init 8 (fun i ->
+        let sk, pk = Lamport.keygen rng in
+        let msg = Printf.sprintf "lamport-msg-%d" i in
+        Verify_batch.Lamport { key = pk; msg; signature = Lamport.sign sk msg })
+  in
+  let vb_seq = Verify_batch.create ~jobs:1 () in
+  let vb_par = Verify_batch.create ~jobs:4 () in
+  let cleanup () =
+    Verify_batch.shutdown vb_par;
+    Verify_batch.shutdown vb_seq
+  in
+  ( cleanup,
+    [
     Test.make ~name:"sha256 (1 KiB)"
       (Staged.stage (fun () -> Sha256.digest payload_1k));
     Test.make ~name:"sha256 (64 KiB)"
@@ -179,6 +216,18 @@ let micro_tests () =
           fun () -> Merkle.root leaves));
     Test.make ~name:"lamport verify"
       (Staged.stage (fun () -> Lamport.verify lamport_pk "msg" lamport_sig));
+    Test.make ~name:"batch verify 16 sigs, jobs 1"
+      (Staged.stage (fun () ->
+           Verify_batch.verify ~keystore:bb_keystore vb_seq bb_jobs16));
+    Test.make ~name:"batch verify 16 sigs, jobs 4"
+      (Staged.stage (fun () ->
+           Verify_batch.verify ~keystore:bb_keystore vb_par bb_jobs16));
+    Test.make ~name:"lamport batch verify 8, jobs 1"
+      (Staged.stage (fun () ->
+           Verify_batch.verify ~keystore:bb_keystore vb_seq lamport_jobs8));
+    Test.make ~name:"lamport batch verify 8, jobs 4"
+      (Staged.stage (fun () ->
+           Verify_batch.verify ~keystore:bb_keystore vb_par lamport_jobs8));
     Test.make ~name:"verify hit (1 KiB, cached)"
       (Staged.stage (fun () ->
            Verify_cache.verify vcache ~signer:vsigner ~msg:payload_1k
@@ -227,7 +276,7 @@ let micro_tests () =
            Bp_sim.Engine.run ~until:(Bp_sim.Time.of_sec 1.0)
              world.Bp_harness.Runner.engine;
            assert !ok));
-  ]
+  ] )
 
 let run_micro () =
   Printf.printf "\n=====================================================\n";
@@ -239,6 +288,8 @@ let run_micro () =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let rows = ref [] in
+  let cleanup, tests = micro_tests () in
+  Fun.protect ~finally:cleanup @@ fun () ->
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -252,11 +303,11 @@ let run_micro () =
               rows := (name, ns) :: !rows
           | _ -> Printf.printf "%-42s (no estimate)\n" name)
         analyzed)
-    (micro_tests ());
+    tests;
   Printf.printf "%!";
   List.rev !rows
 
-(* ---------- JSON report (schema bp-bench/4) ---------- *)
+(* ---------- JSON report (schema bp-bench/5) ---------- *)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -300,26 +351,97 @@ let read_baseline path =
   close_in ic;
   List.rev !entries
 
-let write_json path ~jobs ~pipeline ~baseline ~experiments ~micro =
+(* One verify-batch stats object, shared between the per-experiment
+   entries and the whole-run aggregate. The histogram is keyed by the
+   bucket labels so the record is self-describing. *)
+let print_vb_stats oc label (s : Bp_crypto.Verify_batch.stats) =
+  let p fmt = Printf.fprintf oc fmt in
+  p
+    "\"%s\": { \"batches\": %d, \"jobs\": %d, \"fanned\": %d, \
+     \"cache_hits\": %d, \"fanned_batches\": %d, \"occupancy\": %.3f, \
+     \"batch_size_hist\": { "
+    label s.Bp_crypto.Verify_batch.batches s.Bp_crypto.Verify_batch.jobs_submitted
+    s.Bp_crypto.Verify_batch.fanned s.Bp_crypto.Verify_batch.cache_hits
+    s.Bp_crypto.Verify_batch.fanned_batches s.Bp_crypto.Verify_batch.occupancy;
+  Array.iteri
+    (fun i label ->
+      p "%s\"%s\": %d"
+        (if i = 0 then "" else ", ")
+        label s.Bp_crypto.Verify_batch.hist.(i))
+    Bp_crypto.Verify_batch.hist_buckets;
+  p " } }"
+
+(* Sum of per-experiment deltas; occupancy re-weighted by fanned batches. *)
+let sum_vb_stats stats_list : Bp_crypto.Verify_batch.stats =
+  let open Bp_crypto.Verify_batch in
+  let buckets = Array.length hist_buckets in
+  List.fold_left
+    (fun acc s ->
+      {
+        batches = acc.batches + s.batches;
+        jobs_submitted = acc.jobs_submitted + s.jobs_submitted;
+        fanned = acc.fanned + s.fanned;
+        cache_hits = acc.cache_hits + s.cache_hits;
+        fanned_batches = acc.fanned_batches + s.fanned_batches;
+        occupancy =
+          (let fb = acc.fanned_batches + s.fanned_batches in
+           if fb = 0 then 0.0
+           else
+             ((acc.occupancy *. float_of_int acc.fanned_batches)
+             +. (s.occupancy *. float_of_int s.fanned_batches))
+             /. float_of_int fb);
+        hist = Array.init buckets (fun i -> acc.hist.(i) + s.hist.(i));
+      })
+    {
+      batches = 0;
+      jobs_submitted = 0;
+      fanned = 0;
+      cache_hits = 0;
+      fanned_batches = 0;
+      occupancy = 0.0;
+      hist = Array.make buckets 0;
+    }
+    stats_list
+
+let write_json path ~jobs ~pipeline ~verify_jobs ~baseline ~experiments ~micro =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"bp-bench/4\",\n";
+  p "  \"schema\": \"bp-bench/5\",\n";
   p "  \"scale\": %g,\n" scale;
   p "  \"jobs\": %d,\n" jobs;
   p "  \"pipeline\": %d,\n" pipeline;
+  p "  \"verify_jobs\": %d,\n" verify_jobs;
   p "  \"cache_enabled\": %b,\n" (Bp_crypto.Verify_cache.enabled ());
   (let c = Bp_crypto.Verify_cache.counters () in
+   let nodes = Bp_crypto.Verify_cache.instances () in
+   let per_node v = if nodes = 0 then 0.0 else float_of_int v /. float_of_int nodes in
    p
      "  \"cache\": { \"verify_hits\": %d, \"verify_misses\": %d, \
       \"digest_hits\": %d, \"digest_misses\": %d, \"memo_hits\": %d, \
-      \"memo_misses\": %d },\n"
+      \"memo_misses\": %d,\n"
      c.Bp_crypto.Verify_cache.verify_hits c.Bp_crypto.Verify_cache.verify_misses
      c.Bp_crypto.Verify_cache.digest_hits c.Bp_crypto.Verify_cache.digest_misses
-     c.Bp_crypto.Verify_cache.memo_hits c.Bp_crypto.Verify_cache.memo_misses);
+     c.Bp_crypto.Verify_cache.memo_hits c.Bp_crypto.Verify_cache.memo_misses;
+   (* The aggregate counters above span every node cache the run created;
+      the per-node means divide by the instance count so runs of
+      different topology sizes stay comparable. *)
+   p
+     "    \"nodes\": %d, \"per_node_mean\": { \"verify_hits\": %.1f, \
+      \"verify_misses\": %.1f, \"digest_hits\": %.1f, \"digest_misses\": \
+      %.1f } },\n"
+     nodes
+     (per_node c.Bp_crypto.Verify_cache.verify_hits)
+     (per_node c.Bp_crypto.Verify_cache.verify_misses)
+     (per_node c.Bp_crypto.Verify_cache.digest_hits)
+     (per_node c.Bp_crypto.Verify_cache.digest_misses));
+  p "  ";
+  print_vb_stats oc "verify_batch"
+    (sum_vb_stats (List.map (fun (_, _, _, vb) -> vb) experiments));
+  p ",\n";
   p "  \"experiments\": [";
   List.iteri
-    (fun i (id, wall, metrics) ->
+    (fun i (id, wall, metrics, vb) ->
       p "%s\n    { \"id\": \"%s\", \"wall_s\": %.3f" (if i = 0 then "" else ",")
         (json_escape id) wall;
       (* Sub-millisecond walls (table1 just prints a constant matrix)
@@ -329,6 +451,10 @@ let write_json path ~jobs ~pipeline ~baseline ~experiments ~micro =
           p ", \"baseline_wall_s\": %.3f, \"speedup_vs_baseline\": %.2f"
             base_wall (base_wall /. wall)
       | _ -> ());
+      if vb.Bp_crypto.Verify_batch.batches > 0 then begin
+        p ",\n      ";
+        print_vb_stats oc "verify_batch" vb
+      end;
       (match metrics with
       | [] -> ()
       | metrics ->
@@ -357,6 +483,7 @@ let () =
   let baseline_path = ref None in
   let jobs = ref (Bp_parallel.Pool.default_jobs ()) in
   let pipeline = ref 1 in
+  let verify_jobs = ref 1 in
   let missing flag =
     Printf.eprintf "bench: %s requires an argument\n" flag;
     exit 2
@@ -392,23 +519,45 @@ let () =
               n;
             exit 2)
     | [ "--pipeline" ] -> missing "--pipeline"
+    | "--verify-jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            verify_jobs := n;
+            parse rest
+        | _ ->
+            Printf.eprintf
+              "bench: --verify-jobs expects a positive integer, got %S\n" n;
+            exit 2)
+    | [ "--verify-jobs" ] -> missing "--verify-jobs"
     | a :: rest -> a :: parse rest
     | [] -> []
   in
   let args = parse (List.tl (Array.to_list Sys.argv)) in
   let jobs = !jobs in
   let pipeline = !pipeline in
+  let verify_jobs = !verify_jobs in
   Bp_harness.Runner.set_default_pipeline pipeline;
+  (* --verify-jobs drives both mechanisms: the modeled in-replica
+     parallelism (worlds with verify_cost enabled) and the real
+     domain-pool fan-out behind the receive paths. *)
+  Bp_harness.Runner.set_default_verify_jobs verify_jobs;
+  Bp_crypto.Verify_batch.set_default_jobs verify_jobs;
   let pool = if jobs > 1 then Some (Bp_parallel.Pool.create ~jobs) else None in
-  let finally () = Option.iter Bp_parallel.Pool.shutdown pool in
+  let finally () =
+    Option.iter Bp_parallel.Pool.shutdown pool;
+    (* Joins the global batch-verify workers, if any were spawned. *)
+    Bp_crypto.Verify_batch.set_default_jobs 1
+  in
   Fun.protect ~finally @@ fun () ->
   let experiments, micro =
     match args with
     | [ "micro" ] -> ([], run_micro ())
     | [] ->
-        let experiments = run_paper_benches ?pool ~jobs ~pipeline [] in
+        let experiments =
+          run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs []
+        in
         (experiments, run_micro ())
-    | ids -> (run_paper_benches ?pool ~jobs ~pipeline ids, [])
+    | ids -> (run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ids, [])
   in
   match !json_path with
   | None -> ()
@@ -417,7 +566,8 @@ let () =
         match !baseline_path with None -> [] | Some p -> read_baseline p
       in
       try
-        write_json path ~jobs ~pipeline ~baseline ~experiments ~micro;
+        write_json path ~jobs ~pipeline ~verify_jobs ~baseline ~experiments
+          ~micro;
         if path <> "/dev/null" then Printf.printf "\nwrote %s\n%!" path
       with Sys_error msg ->
         Printf.eprintf "bench: cannot write JSON report: %s\n" msg;

@@ -46,6 +46,24 @@ let set_pipeline depth =
     exit 1);
   Bp_harness.Runner.set_default_pipeline depth
 
+let verify_jobs_arg =
+  let doc =
+    "Verification parallelism: fans in-replica batch crypto across this \
+     many worker domains (and sets the modeled verify parallelism for \
+     worlds that charge simulated verification time). Every experiment \
+     table except the ablation-verify/ablation-pipeline cost models is \
+     bit-identical at any value; only wall time changes."
+  in
+  Arg.(value & opt int 1 & info [ "verify-jobs" ] ~docv:"N" ~doc)
+
+let set_verify_jobs jobs =
+  if jobs < 1 then (
+    Printf.eprintf "blockplane-cli: --verify-jobs must be at least 1, got %d\n"
+      jobs;
+    exit 1);
+  Bp_harness.Runner.set_default_verify_jobs jobs;
+  Bp_crypto.Verify_batch.set_default_jobs jobs
+
 let jobs_arg =
   let doc =
     "Number of worker domains to fan independent simulation tasks across. \
@@ -58,13 +76,17 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* Build a pool for [jobs], run [f] and always shut the pool down, so CLI
-   exits never leave worker domains blocked on the work queue. *)
+   exits never leave worker domains blocked on the work queue. The global
+   batch-verify workers (--verify-jobs > 1) are joined the same way. *)
 let with_pool jobs f =
   if jobs < 1 then (
     Printf.eprintf "blockplane-cli: --jobs must be at least 1, got %d\n" jobs;
     exit 1);
   let pool = if jobs > 1 then Some (Bp_parallel.Pool.create ~jobs) else None in
-  Fun.protect ~finally:(fun () -> Option.iter Bp_parallel.Pool.shutdown pool)
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Bp_parallel.Pool.shutdown pool;
+      Bp_crypto.Verify_batch.set_default_jobs 1)
     (fun () -> f pool)
 
 let list_cmd =
@@ -78,10 +100,11 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available experiments")
     Term.(const run $ const ())
 
-let run_experiment id scale jobs verbose no_cache pipeline =
+let run_experiment id scale jobs verbose no_cache pipeline verify_jobs =
   setup_logs verbose;
   set_cache no_cache;
   set_pipeline pipeline;
+  set_verify_jobs verify_jobs;
   match Bp_harness.Experiments.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `blockplane-cli list`\n" id;
@@ -103,13 +126,14 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured table")
     Term.(
       const run_experiment $ id_arg $ scale_arg $ jobs_arg $ verbose_arg
-      $ no_cache_arg $ pipeline_arg)
+      $ no_cache_arg $ pipeline_arg $ verify_jobs_arg)
 
 let all_cmd =
-  let run scale jobs verbose no_cache pipeline =
+  let run scale jobs verbose no_cache pipeline verify_jobs =
     setup_logs verbose;
     set_cache no_cache;
     set_pipeline pipeline;
+    set_verify_jobs verify_jobs;
     with_pool jobs (fun pool ->
         List.iter
           (fun e ->
@@ -122,7 +146,7 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every table and figure of the evaluation")
     Term.(
       const run $ scale_arg $ jobs_arg $ verbose_arg $ no_cache_arg
-      $ pipeline_arg)
+      $ pipeline_arg $ verify_jobs_arg)
 
 let () =
   let info =

@@ -129,8 +129,14 @@ let on_sign_response t ~dest ~comm_seq ~identity ~signature =
               st.txn
           in
           if
-            Bp_crypto.Verify_cache.verify vcache ~signer:identity
-              ~msg:statement ~signature
+            (* Single-signature batch: stays inline on this domain, but
+               goes through the same probe/verify/record path as the
+               fanned bundles, so the daemon's verdicts share the
+               per-node cache discipline. *)
+            Bp_crypto.Verify_batch.verify_one ~cache:vcache
+              ~keystore:(Unit_node.keystore t.node)
+              (Bp_crypto.Verify_batch.global ())
+              ~signer:identity ~msg:statement ~signature
           then begin
             st.sigs <- (identity, signature) :: st.sigs;
             maybe_ready t st

@@ -32,7 +32,8 @@ let reserves t ~src ~dest = List.assoc dest t.units.(src).reserves
 let addrs_for ~fi p = Array.init ((3 * fi) + 1) (fun i -> Addr.make ~dc:p ~idx:i)
 
 let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
-    ?batch_max ?request_timeout ?max_in_flight ~app () =
+    ?batch_max ?request_timeout ?max_in_flight ?verify_cost ?verify_jobs ~app
+    () =
   let engine = Network.engine network in
   let topology = Network.topology network in
   if n_participants > Topology.num_dcs topology then
@@ -48,7 +49,7 @@ let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
         let pbft_cfg =
           Bp_pbft.Config.make ~nodes:all_addrs.(p) ~keystore
             ~tag:(Printf.sprintf "u%d" p) ?batch_max ?request_timeout
-            ?max_in_flight ()
+            ?max_in_flight ?verify_cost ?verify_jobs ()
         in
         let nodes =
           Array.init

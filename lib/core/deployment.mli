@@ -15,12 +15,17 @@ val create :
   ?batch_max:int ->
   ?request_timeout:Bp_sim.Time.t ->
   ?max_in_flight:int ->
+  ?verify_cost:Bp_sim.Time.t ->
+  ?verify_jobs:int ->
   app:(unit -> App.instance) ->
   unit ->
   t
 (** [app] builds a fresh protocol instance per node (all must start
     identical). Defaults: fi = 1, fg = 0, HMAC signatures. Mirror sets
-    (fg > 0) are each participant's other datacenters ordered by RTT. *)
+    (fg > 0) are each participant's other datacenters ordered by RTT.
+    [verify_cost] / [verify_jobs] configure the modeled in-replica
+    verification cost (see {!Bp_pbft.Config}); by default the model is
+    off and crypto is free in simulated time, as in the paper. *)
 
 val n_participants : t -> int
 val fi : t -> int

@@ -121,3 +121,9 @@ let transmission_statement ?(digest = Bp_crypto.Sha256.digest) t =
       Wire.string e (digest t.tpayload))
 
 let strip_proofs t = { t with proofs = []; geo_proofs = [] }
+
+let comm_image t =
+  Comm { dest = t.tdest; comm_seq = t.tcomm_seq; payload = t.tpayload }
+
+let signature_jobs ~statement sigs =
+  List.map (fun (identity, signature) -> (identity, statement, signature)) sigs

@@ -54,3 +54,15 @@ val transmission_statement : ?digest:(string -> string) -> transmission -> strin
 val strip_proofs : transmission -> transmission
 (** Proofs and geo-proofs cleared — the canonical form stored in the
     receiver's log (signatures are checked, not re-stored). *)
+
+val comm_image : transmission -> t
+(** The communication record this transmission claims to carry — what the
+    source appended to its Local Log. Its encoding is the content that
+    geo mirror statements attest (§V), shared by the receive-verification
+    and prefetch paths. *)
+
+val signature_jobs :
+  statement:string -> (string * string) list -> (string * string * string) list
+(** Pair every [(identity, signature)] of a proof bundle with the
+    statement it must attest: [(identity, statement, signature)] triples
+    ready to become [Bp_crypto.Verify_batch] jobs. *)

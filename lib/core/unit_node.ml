@@ -78,25 +78,56 @@ let sign_mirror t ~owner ~pos ~digest =
 
 let unit_identity_prefix p = Printf.sprintf "u%d/" p
 
-let valid_sig_bundle t ~from_participant ~statement ~needed sigs =
+(* Signatures whose claimed identity belongs to the attesting unit; the
+   screen is pure string work, so it runs before any crypto. *)
+let eligible_sigs ~from_participant sigs =
   let prefix = unit_identity_prefix from_participant in
+  let plen = String.length prefix in
+  List.filter
+    (fun (identity, _) ->
+      String.length identity > plen
+      && String.equal (String.sub identity 0 plen) prefix)
+    sigs
+
+let bundle_jobs ~from_participant ~statement sigs =
+  List.map
+    (fun (identity, _, signature) ->
+      Bp_crypto.Verify_batch.Keyed
+        { signer = identity; msg = statement; signature })
+    (Record.signature_jobs ~statement (eligible_sigs ~from_participant sigs))
+
+(* One fanned Verify_batch submission for the whole fi+1 bundle instead
+   of a per-signature loop. The fold over verdicts reproduces the
+   sequential counting rule exactly: an identity only enters [seen] once
+   a signature of its verifies, so several (even byzantine-duplicated)
+   copies count at most once, and the count — hence the accept verdict —
+   is identical at any worker count. *)
+let valid_sig_bundle t ~from_participant ~statement ~needed sigs =
+  let eligible = eligible_sigs ~from_participant sigs in
+  let jobs =
+    List.map
+      (fun (identity, signature) ->
+        Bp_crypto.Verify_batch.Keyed
+          { signer = identity; msg = statement; signature })
+      eligible
+  in
+  let verdicts =
+    Bp_crypto.Verify_batch.verify ~cache:t.vcache
+      ~keystore:t.pbft_cfg.Bp_pbft.Config.keystore
+      (Bp_crypto.Verify_batch.global ())
+      jobs
+  in
   let seen = Hashtbl.create 8 in
   let count =
-    List.fold_left
-      (fun acc (identity, signature) ->
+    List.fold_left2
+      (fun acc (identity, _) verdict ->
         if Hashtbl.mem seen identity then acc
-        else if not (String.length identity > String.length prefix
-                     && String.sub identity 0 (String.length prefix) = prefix)
-        then acc
-        else if
-          Bp_crypto.Verify_cache.verify t.vcache ~signer:identity ~msg:statement
-            ~signature
-        then begin
+        else if verdict then begin
           Hashtbl.add seen identity ();
           acc + 1
         end
         else acc)
-      0 sigs
+      0 eligible verdicts
   in
   count >= needed
 
@@ -130,13 +161,7 @@ let verify_transmission t (tr : Record.transmission) =
                          ~pos:tr.Record.log_pos
                          ~digest:
                            (Bp_crypto.Verify_cache.digest t.vcache
-                              (Record.encode
-                                 (Record.Comm
-                                    {
-                                      Record.dest = tr.Record.tdest;
-                                      comm_seq = tr.Record.tcomm_seq;
-                                      payload = tr.Record.tpayload;
-                                    }))))
+                              (Record.encode (Record.comm_image tr))))
                     ~needed:(fi t + 1) sigs)
              tr.Record.geo_proofs
          in
@@ -183,6 +208,66 @@ let verifier t ~kind ~op =
       | Record.Mirrored _ -> true (* geo failures are benign (§V) *)
       | Record.Commit payload when is_read_marker payload -> true
       | Record.Commit _ | Record.Comm _ -> App.verify t.app record)
+
+(* ---------- asynchronous verification prefetch ---------- *)
+
+(* Every signature check [verifier] will run for a batch's transmission
+   records: the fi+1 source-unit bundles and, with fg > 0, the geo
+   mirror bundles. Only crypto — the stateful screens (sequence gaps,
+   duplicate detection, application verify) stay in [verifier], judged
+   at the head of the execution order as always. *)
+let prefetch_jobs t batch =
+  List.concat_map
+    (fun (r : Bp_pbft.Msg.request) ->
+      match Record.decode r.Bp_pbft.Msg.op with
+      | Ok (Record.Recv tr) when tr.Record.tdest = t.participant ->
+          let statement =
+            Record.transmission_statement
+              ~digest:(Bp_crypto.Verify_cache.digest t.vcache)
+              tr
+          in
+          let main =
+            bundle_jobs ~from_participant:tr.Record.src ~statement
+              tr.Record.proofs
+          in
+          let geo =
+            if t.fg = 0 then []
+            else
+              List.concat_map
+                (fun (p, sigs) ->
+                  if p = tr.Record.src then []
+                  else
+                    bundle_jobs ~from_participant:p
+                      ~statement:
+                        (Proto.mirror_statement ~owner:tr.Record.src
+                           ~pos:tr.Record.log_pos
+                           ~digest:
+                             (Bp_crypto.Verify_cache.digest t.vcache
+                                (Record.encode (Record.comm_image tr))))
+                      sigs)
+                tr.Record.geo_proofs
+          in
+          main @ geo
+      | _ -> [])
+    batch
+
+(* The replica calls this when a pre-prepare lands for a slot that is
+   not next to execute: submit the batch's signature checks to the
+   worker pool and hand back the join closure. The join [record]s every
+   verdict in the per-node cache, so when the slot is judged the
+   bundle verification above is all probe hits — verdicts identical
+   with or without the prefetch, at any worker count. *)
+let preverify t batch =
+  match prefetch_jobs t batch with
+  | [] -> None
+  | jobs ->
+      let handle =
+        Bp_crypto.Verify_batch.submit ~cache:t.vcache
+          ~keystore:t.pbft_cfg.Bp_pbft.Config.keystore
+          (Bp_crypto.Verify_batch.global ())
+          jobs
+      in
+      Some (fun () -> ignore (Bp_crypto.Verify_batch.await handle))
 
 (* ---------- execution ---------- *)
 
@@ -411,6 +496,7 @@ let create ~network ~pbft_cfg ~participant ~n_participants ~node_idx ~fg ~app =
       ()
   in
   Bp_pbft.Replica.set_verifier replica (fun ~kind ~op -> verifier t ~kind ~op);
+  Bp_pbft.Replica.set_preverifier replica (fun batch -> preverify t batch);
   t.replica <- Some replica;
   Bp_net.Transport.set_handler transport ~tag:(Proto.aux_tag participant)
     (fun ~src payload -> on_aux t ~src payload);

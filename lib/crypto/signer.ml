@@ -52,14 +52,31 @@ let sign t ~signer msg =
       end;
       Merkle_sig.encode (Merkle_sig.sign keys.current msg)
 
-let verify t ~signer ~msg ~signature =
+(* An immutable view of one identity's verification state. [Hash_keys]
+   entries are mutable (root lists grow on pool rollover), so the
+   snapshot copies the root list out; the strings themselves are never
+   mutated. This is what makes it safe to verify on another domain
+   while the owning domain keeps signing. *)
+type key = Hmac_key of string | Hash_roots of string list
+
+let snapshot t ~signer =
   match Hashtbl.find_opt t.identities signer with
-  | None -> false
-  | Some (Hmac_secret secret) -> Hmac.verify ~key:secret ~msg ~tag:signature
-  | Some (Hash_keys keys) -> (
+  | None -> None
+  | Some (Hmac_secret secret) -> Some (Hmac_key secret)
+  | Some (Hash_keys keys) -> Some (Hash_roots keys.roots)
+
+let verify_key key ~msg ~signature =
+  match key with
+  | Hmac_key secret -> Hmac.verify ~key:secret ~msg ~tag:signature
+  | Hash_roots roots -> (
       match Merkle_sig.decode signature with
       | None -> false
-      | Some s -> List.exists (fun root -> Merkle_sig.verify root msg s) keys.roots)
+      | Some s -> List.exists (fun root -> Merkle_sig.verify root msg s) roots)
+
+let verify t ~signer ~msg ~signature =
+  match snapshot t ~signer with
+  | None -> false
+  | Some key -> verify_key key ~msg ~signature
 
 let signature_overhead t =
   match t.scheme with

@@ -63,13 +63,22 @@ let counters () =
     memo_misses = !c_memo_misses;
   }
 
+(* Caches created since the last [reset_counters] — one per node, so
+   this is the divisor that turns the aggregate tallies above into
+   honest per-node figures (the bench used to report the aggregate as
+   if it were a single node's). *)
+let c_instances = ref 0
+
+let instances () = !c_instances
+
 let reset_counters () =
   c_verify_hits := 0;
   c_verify_misses := 0;
   c_digest_hits := 0;
   c_digest_misses := 0;
   c_memo_hits := 0;
-  c_memo_misses := 0
+  c_memo_misses := 0;
+  c_instances := 0
 
 (* ---------- the cache ---------- *)
 
@@ -96,12 +105,20 @@ type t = {
   dqueue : (int * string) Queue.t; (* insertion order, for eviction *)
   mutable dbytes : int;
   digest_budget : int;
+  (* Per-instance (= per-node) counters, alongside the process-global
+     refs: a multi-node world shares the globals, so only these can say
+     what one node's hit rate actually was. *)
+  mutable i_verify_hits : int;
+  mutable i_verify_misses : int;
+  mutable i_digest_hits : int;
+  mutable i_digest_misses : int;
 }
 
 (* The digest memo's FIFO window only has to cover content still in
    flight (a few pipelined batches); a huge budget would just pin dead
    operations on the major heap for the GC to trace. *)
 let create ?(capacity = 4096) ?(digest_budget = 8 * 1024 * 1024) keystore =
+  incr c_instances;
   {
     keystore;
     verdicts = Hashtbl.create (2 * capacity);
@@ -111,9 +128,23 @@ let create ?(capacity = 4096) ?(digest_budget = 8 * 1024 * 1024) keystore =
     dqueue = Queue.create ();
     dbytes = 0;
     digest_budget;
+    i_verify_hits = 0;
+    i_verify_misses = 0;
+    i_digest_hits = 0;
+    i_digest_misses = 0;
   }
 
 let keystore t = t.keystore
+
+let instance_counters t =
+  {
+    verify_hits = t.i_verify_hits;
+    verify_misses = t.i_verify_misses;
+    digest_hits = t.i_digest_hits;
+    digest_misses = t.i_digest_misses;
+    memo_hits = 0;
+    memo_misses = 0;
+  }
 
 let insert t key entry =
   (match t.ring.(t.cursor) with
@@ -129,6 +160,48 @@ let insert t key entry =
 let verify_uncached keystore ~signer ~msg ~signature =
   Signer.verify keystore ~signer ~msg ~signature
 
+let hit t =
+  incr c_verify_hits;
+  t.i_verify_hits <- t.i_verify_hits + 1
+
+let miss t =
+  incr c_verify_misses;
+  t.i_verify_misses <- t.i_verify_misses + 1
+
+(* Cache-partitioning primitives for batched verification: the protocol
+   domain [probe]s every job before fan-out and [record]s the computed
+   verdicts after the join, so worker domains never see the cache. The
+   counter accounting matches [verify] exactly — a probe counts the
+   hit/miss, a record counts nothing. *)
+
+let probe t ~signer ~msg ~signature =
+  if not !enabled_flag then None
+  else begin
+    let gen = Signer.generation t.keystore in
+    match Hashtbl.find_opt t.verdicts (signer, signature) with
+    | Some e when e.e_gen = gen && (e.e_msg == msg || String.equal e.e_msg msg)
+      ->
+        hit t;
+        Some e.e_verdict
+    | Some _ | None ->
+        miss t;
+        None
+  end
+
+let record t ~signer ~msg ~signature ~verdict =
+  if !enabled_flag then begin
+    let gen = Signer.generation t.keystore in
+    let key = (signer, signature) in
+    match Hashtbl.find_opt t.verdicts key with
+    | Some e ->
+        (* Stale generation, or a key collision with a different message:
+           refresh in place (no ring movement). *)
+        e.e_msg <- msg;
+        e.e_gen <- gen;
+        e.e_verdict <- verdict
+    | None -> insert t key { e_msg = msg; e_gen = gen; e_verdict = verdict }
+  end
+
 let verify t ~signer ~msg ~signature =
   if not !enabled_flag then
     Signer.verify t.keystore ~signer ~msg ~signature
@@ -138,19 +211,19 @@ let verify t ~signer ~msg ~signature =
     match Hashtbl.find_opt t.verdicts key with
     | Some e when e.e_gen = gen && (e.e_msg == msg || String.equal e.e_msg msg)
       ->
-        incr c_verify_hits;
+        hit t;
         e.e_verdict
     | Some e ->
         (* Stale generation, or a key collision with a different message:
            recompute and refresh in place (no ring movement). *)
-        incr c_verify_misses;
+        miss t;
         let v = Signer.verify t.keystore ~signer ~msg ~signature in
         e.e_msg <- msg;
         e.e_gen <- gen;
         e.e_verdict <- v;
         v
     | None ->
-        incr c_verify_misses;
+        miss t;
         let v = Signer.verify t.keystore ~signer ~msg ~signature in
         insert t key { e_msg = msg; e_gen = gen; e_verdict = v };
         v
@@ -219,9 +292,11 @@ let digest t s =
     match List.find_opt (fun (k, _) -> k == s || String.equal k s) bucket with
     | Some (_, d) ->
         incr c_digest_hits;
+        t.i_digest_hits <- t.i_digest_hits + 1;
         d
     | None ->
         incr c_digest_misses;
+        t.i_digest_misses <- t.i_digest_misses + 1;
         let d = Sha256.digest s in
         Hashtbl.replace t.digests fp ((s, d) :: bucket);
         Queue.push (fp, s) t.dqueue;

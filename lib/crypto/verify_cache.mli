@@ -33,6 +33,20 @@ val verify : t -> signer:string -> msg:string -> signature:string -> bool
     [(signer, signature)] with the stored message compared on every probe,
     so colliding or tampered inputs recompute rather than cross-talk. *)
 
+val probe : t -> signer:string -> msg:string -> signature:string -> bool option
+(** Lookup half of {!verify}, for batched verification (see
+    [Verify_batch]): [Some verdict] on a fresh-generation hit, [None]
+    otherwise (always [None] with the cache disabled). Counts the
+    hit/miss exactly as {!verify} would. Must be called on the domain
+    that owns the cache — the protocol domain probes every job {e before}
+    fanning the residue out to workers. *)
+
+val record : t -> signer:string -> msg:string -> signature:string -> verdict:bool -> unit
+(** Insertion half of {!verify}: store a verdict computed elsewhere
+    (stamped with the current generation), without counting anything.
+    No-op with the cache disabled. Must be called on the domain that
+    owns the cache — after the batch join, never from a worker. *)
+
 val sign : t -> signer:string -> string -> string
 (** {!Signer.sign}, additionally seeding the cache with the (known-true)
     verdict so a node's own loopback deliveries verify for free.
@@ -91,6 +105,17 @@ type counters = {
 }
 
 val counters : unit -> counters
-(** Process-global tallies (exact at [-j 1]; see implementation note). *)
+(** Process-global tallies (exact at [-j 1]; see implementation note).
+    These aggregate over {e every} cache instance in the process — one
+    per node — so they are not a single node's figures; divide by
+    {!instances} (or read {!instance_counters}) for per-node rates. *)
+
+val instance_counters : t -> counters
+(** This cache's own verify/digest tallies ([memo_*] are always 0: the
+    generic memo is not tied to an instance). *)
+
+val instances : unit -> int
+(** Number of caches created since the last {!reset_counters} — the
+    node count behind the {!counters} aggregate. *)
 
 val reset_counters : unit -> unit

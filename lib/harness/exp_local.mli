@@ -24,3 +24,13 @@ val pipeline_plan : scale:float -> Runner.plan
     and mean pipeline occupancy. *)
 
 val pipeline : ?scale:float -> unit -> Report.t list
+
+val verify_plan : scale:float -> Runner.plan
+(** Verification-parallelism ablation (beyond the paper): the pipeline
+    workload swept over a (verify_jobs, depth) grid with the modeled
+    per-signature verification cost enabled — one task per grid point,
+    each pinning its own [verify_jobs]. The report's metrics carry
+    [j<jobs>_d<depth>_throughput_mbps] and [..._speedup_vs_d1] (vs the
+    same jobs level at depth 1). *)
+
+val verify_ablation : ?scale:float -> unit -> Report.t list

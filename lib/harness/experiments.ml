@@ -73,6 +73,11 @@ let all =
       plan = (fun ~scale -> Exp_local.pipeline_plan ~scale);
     };
     {
+      id = "ablation-verify";
+      title = "Verification parallelism vs pipeline depth";
+      plan = (fun ~scale -> Exp_local.verify_plan ~scale);
+    };
+    {
       id = "locality";
       title = "Intra-DC vs wide-area traffic share (SIII-A)";
       plan = (fun ~scale -> Exp_locality.locality_plan ~scale);

@@ -17,17 +17,33 @@ let set_default_pipeline depth =
   if depth <= 0 then invalid_arg "Runner.set_default_pipeline: depth must be positive";
   default_pipeline := depth
 
+(* The --verify-jobs knob, same write-once discipline as the pipeline
+   depth. It feeds two distinct mechanisms: the real wall-clock fan-out
+   (Bp_crypto.Verify_batch, resized by the executables) and the modeled
+   in-replica verification parallelism here — worlds that enable
+   Config.verify_cost divide each slot's charge by this many simulated
+   cores unless they pick a value explicitly. *)
+let default_verify_jobs = ref 1
+
+let set_default_verify_jobs jobs =
+  if jobs <= 0 then
+    invalid_arg "Runner.set_default_verify_jobs: jobs must be positive";
+  default_verify_jobs := jobs
+
 let fresh_world ?(fi = 1) ?(fg = 0) ?(seed = 4242L) ?(n_participants = 4)
-    ?batch_max ?max_in_flight
+    ?batch_max ?max_in_flight ?verify_cost ?verify_jobs
     ?(app = fun () -> Blockplane.App.make (module Blockplane.App.Null)) () =
   let engine = Engine.create ~seed () in
   let net = Network.create engine Topology.aws_paper () in
   let max_in_flight =
     match max_in_flight with Some d -> d | None -> !default_pipeline
   in
+  let verify_jobs =
+    match verify_jobs with Some j -> j | None -> !default_verify_jobs
+  in
   let dep =
     Blockplane.Deployment.create ~network:net ~n_participants ~fi ~fg ?batch_max
-      ~max_in_flight ~app ()
+      ~max_in_flight ?verify_cost ~verify_jobs ~app ()
   in
   { engine; net; dep }
 

@@ -16,6 +16,15 @@ val set_default_pipeline : int -> unit
     never written, from worker domains).
     @raise Invalid_argument on a non-positive depth. *)
 
+val set_default_verify_jobs : int -> unit
+(** Modeled verification parallelism for worlds that don't pick one
+    explicitly (the [--verify-jobs N] knob; the executables also resize
+    the real [Bp_crypto.Verify_batch] fan-out to match). Only observable
+    in worlds that enable [verify_cost] — with the model off (the
+    default everywhere but the pipeline/verify ablations) simulated
+    results are identical at any value. Defaults to 1.
+    @raise Invalid_argument on a non-positive count. *)
+
 val fresh_world :
   ?fi:int ->
   ?fg:int ->
@@ -23,6 +32,8 @@ val fresh_world :
   ?n_participants:int ->
   ?batch_max:int ->
   ?max_in_flight:int ->
+  ?verify_cost:Bp_sim.Time.t ->
+  ?verify_jobs:int ->
   ?app:(unit -> Blockplane.App.instance) ->
   unit ->
   world

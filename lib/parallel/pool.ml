@@ -1,67 +1,99 @@
 (* A mutex/condition work-sharing pool over OCaml 5 domains — the one
    place in the tree where multicore primitives are allowed (bplint
-   R2-domain). Workers pull task indices from a shared cursor under the
-   pool mutex, run the task unlocked, and publish the result into a
-   per-batch slot keyed by that index; the caller merges by index, so
-   scheduling order never leaks into results.
+   R2-domain). Workers pull task indices from the batch at the head of a
+   FIFO queue under the pool mutex, run the task unlocked, and publish
+   the result into a per-batch slot keyed by that index; the caller
+   merges by index, so scheduling order never leaks into results.
+
+   Batches are first-class: {!submit} enqueues one and returns a handle,
+   {!await} blocks on it, and {!run} is submit-then-await. Several
+   batches may be outstanding at once (they drain in FIFO order), which
+   is what lets verification batches overlap with protocol work.
 
    Everything mutable is protected by [mutex]; there are no atomics and
    no lock-free cleverness. The tasks themselves dwarf the per-task
-   locking cost (each is a whole simulation), so contention on the
-   cursor is irrelevant. *)
+   locking cost (each is a whole simulation or a signature check), so
+   contention on the cursor is irrelevant. *)
+
+type batch = {
+  b_run : int -> unit;
+      (* slot [i] runs task [i] and stores its result (closed over the
+         submitter's result array, erasing the element type) *)
+  b_total : int; (* number of tasks in this batch *)
+  mutable b_next : int; (* next unclaimed task index *)
+  mutable b_active : int; (* tasks currently executing in workers *)
+  mutable b_failure : (exn * Printexc.raw_backtrace) option;
+  mutable b_done : bool; (* all indices claimed and finished *)
+}
 
 type t = {
   jobs : int;
   mutex : Mutex.t;
   work : Condition.t; (* workers wait here for a batch / more indices *)
-  idle : Condition.t; (* the caller waits here for batch completion *)
-  mutable run_task : (int -> unit) option;
-      (* the current batch, erased to [int -> unit]: slot [i] runs task
-         [i] and stores its result (closed over the caller's array) *)
-  mutable total : int; (* number of tasks in the current batch *)
-  mutable next : int; (* next unclaimed task index *)
-  mutable active : int; (* tasks currently executing in workers *)
-  mutable failure : (exn * Printexc.raw_backtrace) option;
+  idle : Condition.t; (* awaiting callers wait here for completion *)
+  mutable queue : batch list;
+      (* FIFO of batches that still have unclaimed indices; a batch is
+         removed as soon as its last index is claimed (or abandoned) *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
 }
+
+type 'a state =
+  | Deferred of (unit -> 'a) array
+      (* inline path (jobs <= 1 or trivial batch): tasks run on the
+         awaiting domain, exactly like the sequential reference *)
+  | Pending of batch * 'a option array
+  | Done of 'a list
+
+type 'a handle = { h_pool : t; mutable h_state : 'a state }
 
 (* Called with [t.mutex] held; returns with it held. *)
 let rec next_job t =
   if t.stopping then None
   else
-    match t.run_task with
-    | Some f when t.next < t.total ->
-        let i = t.next in
-        t.next <- t.next + 1;
-        t.active <- t.active + 1;
-        Some (f, i)
-    | Some _ | None ->
+    match t.queue with
+    | b :: rest when b.b_next < b.b_total ->
+        let i = b.b_next in
+        b.b_next <- b.b_next + 1;
+        b.b_active <- b.b_active + 1;
+        if b.b_next >= b.b_total then t.queue <- rest;
+        Some (b, i)
+    | _ :: _ | [] ->
         Condition.wait t.work t.mutex;
         next_job t
+
+(* Called with [t.mutex] held. *)
+let finish_task t b outcome =
+  (match outcome with
+  | None -> ()
+  | Some failure -> (
+      (match b.b_failure with
+      | Some _ -> () (* first exception (in completion order) wins *)
+      | None -> b.b_failure <- Some failure);
+      (* Abandon indices not yet claimed; running tasks finish. *)
+      if b.b_next < b.b_total then begin
+        b.b_next <- b.b_total;
+        t.queue <- List.filter (fun b' -> b' != b) t.queue
+      end));
+  b.b_active <- b.b_active - 1;
+  if b.b_next >= b.b_total && b.b_active = 0 then begin
+    b.b_done <- true;
+    Condition.broadcast t.idle
+  end
 
 let rec worker t =
   Mutex.lock t.mutex;
   match next_job t with
   | None -> Mutex.unlock t.mutex
-  | Some (f, i) ->
+  | Some (b, i) ->
       Mutex.unlock t.mutex;
       let outcome =
-        match f i with
+        match b.b_run i with
         | () -> None
         | exception e -> Some (e, Printexc.get_raw_backtrace ())
       in
       Mutex.lock t.mutex;
-      (match outcome with
-      | None -> ()
-      | Some failure ->
-          (match t.failure with
-          | Some _ -> ()
-          | None -> t.failure <- Some failure);
-          (* Abandon indices not yet claimed; running tasks finish. *)
-          t.next <- t.total);
-      t.active <- t.active - 1;
-      if t.next >= t.total && t.active = 0 then Condition.broadcast t.idle;
+      finish_task t b outcome;
       Mutex.unlock t.mutex;
       worker t
 
@@ -73,11 +105,7 @@ let create ~jobs =
       mutex = Mutex.create ();
       work = Condition.create ();
       idle = Condition.create ();
-      run_task = None;
-      total = 0;
-      next = 0;
-      active = 0;
-      failure = None;
+      queue = [];
       stopping = false;
       workers = [];
     }
@@ -88,53 +116,95 @@ let create ~jobs =
 
 let jobs t = t.jobs
 
-let run t tasks =
+let submit_exn msg t tasks =
+  if t.stopping then invalid_arg msg;
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
-  if t.stopping then invalid_arg "Pool.run: pool is shut down";
-  if n = 0 then []
-  else if t.jobs <= 1 || n = 1 then
-    (* Inline on the calling domain: this is the [-j 1] reference path,
+  if t.jobs <= 1 || n <= 1 then
+    (* Defer to the awaiting domain: this is the [-j 1] reference path,
        and trivially bit-identical to the sequential harness. *)
-    Array.to_list (Array.map (fun f -> f ()) tasks)
+    { h_pool = t; h_state = Deferred tasks }
   else begin
     let results = Array.make n None in
+    let b =
+      {
+        b_run = (fun i -> results.(i) <- Some (tasks.(i) ()));
+        b_total = n;
+        b_next = 0;
+        b_active = 0;
+        b_failure = None;
+        b_done = false;
+      }
+    in
     Mutex.lock t.mutex;
-    (match t.run_task with
-    | Some _ ->
-        Mutex.unlock t.mutex;
-        invalid_arg "Pool.run: a batch is already running"
-    | None -> ());
-    t.run_task <- Some (fun i -> results.(i) <- Some (tasks.(i) ()));
-    t.total <- n;
-    t.next <- 0;
-    t.failure <- None;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg msg
+    end;
+    t.queue <- t.queue @ [ b ];
     Condition.broadcast t.work;
-    while not (t.next >= t.total && t.active = 0) do
-      Condition.wait t.idle t.mutex
-    done;
-    t.run_task <- None;
-    let failure = t.failure in
-    t.failure <- None;
     Mutex.unlock t.mutex;
-    match failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None ->
-        Array.to_list
-          (Array.map
-             (function
-               | Some v -> v
-               | None ->
-                   (* Unreachable: every index was claimed and completed. *)
-                   invalid_arg "Pool.run: missing result")
-             results)
+    { h_pool = t; h_state = Pending (b, results) }
   end
+
+let submit t tasks = submit_exn "Pool.submit: pool is shut down" t tasks
+
+let await h =
+  match h.h_state with
+  | Done rs -> rs
+  | Deferred tasks ->
+      let rs = Array.to_list (Array.map (fun f -> f ()) tasks) in
+      h.h_state <- Done rs;
+      rs
+  | Pending (b, results) ->
+      let t = h.h_pool in
+      Mutex.lock t.mutex;
+      while not b.b_done do
+        Condition.wait t.idle t.mutex
+      done;
+      let failure = b.b_failure in
+      Mutex.unlock t.mutex;
+      (match failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+          let rs =
+            Array.to_list
+              (Array.map
+                 (function
+                   | Some v -> v
+                   | None ->
+                       (* Unreachable: every index claimed and completed. *)
+                       invalid_arg "Pool.await: missing result")
+                 results)
+          in
+          h.h_state <- Done rs;
+          rs)
+
+let run t tasks = await (submit_exn "Pool.run: pool is shut down" t tasks)
 
 let shutdown t =
   Mutex.lock t.mutex;
   if not t.stopping then begin
     t.stopping <- true;
-    Condition.broadcast t.work
+    (* Fail batches that still have unclaimed work: with the workers
+       gone nobody would ever finish them, and await would hang. *)
+    List.iter
+      (fun b ->
+        if b.b_next < b.b_total then begin
+          b.b_next <- b.b_total;
+          match b.b_failure with
+          | Some _ -> ()
+          | None ->
+              b.b_failure <-
+                Some
+                  ( Invalid_argument "Pool.await: pool was shut down",
+                    Printexc.get_callstack 0 )
+        end;
+        if b.b_active = 0 then b.b_done <- true)
+      t.queue;
+    t.queue <- [];
+    Condition.broadcast t.work;
+    Condition.broadcast t.idle
   end;
   let workers = t.workers in
   t.workers <- [];

@@ -1,18 +1,25 @@
 (** A fixed-size pool of worker domains for independent, closed tasks.
 
-    This is the only module in the repository allowed to touch the
-    multicore primitives ([Domain] / [Mutex] / [Condition] — enforced by
-    the bplint R2-domain rule): protocol and simulator code stays
-    single-domain deterministic, and parallelism exists purely at the
-    granularity of whole simulations. The experiment harness hands the
-    pool a list of closures, each of which builds its own engine,
-    network and replicas from its own seed; the pool returns the results
-    in task-index order, so a parallel run is observationally identical
-    to [List.map (fun f -> f ()) tasks].
+    This is the only general-purpose module in the repository allowed to
+    touch the multicore primitives ([Domain] / [Mutex] / [Condition] —
+    enforced by the bplint R2-domain rule, which also exempts the thin
+    [Bp_crypto.Verify_batch] wrapper built on top of this pool): protocol
+    and simulator code stays single-domain deterministic, and parallelism
+    exists purely at the granularity of closed tasks — a whole seeded
+    simulation, or a batch of signature checks over immutable snapshots.
+    The pool returns results in task-index order, so a parallel run is
+    observationally identical to [List.map (fun f -> f ()) tasks].
 
-    The pool is not a general scheduler: one batch runs at a time, and
-    {!run} must not be called from two domains concurrently or from
-    inside a task. *)
+    Two entry points share one FIFO of batches:
+
+    - {!run} is the original plan API: enqueue a batch and block until it
+      completes.
+    - {!submit} / {!await} is the futures API: enqueue a batch, keep the
+      handle, and join later — several batches may be outstanding at
+      once, which lets callers overlap verification with other work.
+
+    Handles are single-consumer: {!await} from the domain that submitted
+    (a second {!await} returns the cached results). *)
 
 type t
 
@@ -24,11 +31,31 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** The (clamped) parallelism the pool was created with. *)
 
+type 'a handle
+(** An outstanding batch: claim it with {!await}. *)
+
+val submit : t -> (unit -> 'a) list -> 'a handle
+(** Enqueue a batch without blocking. Tasks are claimed by workers in
+    index order (FIFO across batches) and may finish in any order; the
+    eventual {!await} merges results by task index. On a pool with
+    [jobs <= 1] (or a batch of fewer than two tasks) nothing is
+    enqueued: the tasks run inline, deferred until {!await}, preserving
+    the sequential reference behaviour exactly.
+
+    @raise Invalid_argument if the pool is shut down. *)
+
+val await : 'a handle -> 'a list
+(** Block until the batch completes and return its results in
+    task-index order. If a task raised, the first exception (in
+    completion order) is re-raised with its backtrace, tasks not yet
+    started are abandoned, and already-running tasks finish; the pool
+    remains usable for subsequent batches. Awaiting an already-awaited
+    handle returns the cached results without re-running anything. *)
+
 val run : t -> (unit -> 'a) list -> 'a list
-(** Execute every task and return the results in task-index order,
-    regardless of completion order. Tasks are claimed by workers in
-    index order but may finish in any order; the caller blocks until the
-    batch is complete.
+(** [run t tasks] is [await (submit t tasks)]: execute every task and
+    return the results in task-index order, regardless of completion
+    order.
 
     If a task raises, the first exception (in completion order) is
     re-raised in the caller with its backtrace, tasks not yet started
@@ -38,7 +65,9 @@ val run : t -> (unit -> 'a) list -> 'a list
     @raise Invalid_argument if the pool is shut down. *)
 
 val shutdown : t -> unit
-(** Join all workers. Idempotent. The pool cannot run batches after. *)
+(** Join all workers. Idempotent. The pool cannot run batches after;
+    outstanding handles with unstarted work fail their {!await} with
+    [Invalid_argument]. *)
 
 val map : jobs:int -> (unit -> 'a) list -> 'a list
 (** One-shot convenience: create a pool, {!run} the batch, {!shutdown}

@@ -394,6 +394,37 @@ let request_valid ?cache cfg r =
       Bp_crypto.Verify_cache.verify_uncached cfg.Config.keystore ~signer
         ~msg:payload ~signature:r.client_sig
 
+(* Batched spelling of [List.for_all (request_valid ?cache cfg)]: the
+   per-request payloads and identities are derived on the calling
+   domain, then every signature checks as one [Verify_batch] fan-out.
+   Index-ordered join makes the verdict independent of worker count. *)
+let requests_valid ?cache cfg batch =
+  match batch with
+  | [] -> true
+  | [ r ] -> request_valid ?cache cfg r
+  | _ ->
+      let jobs =
+        List.map
+          (fun r ->
+            let payload =
+              request_signing_payload ?cache ~client:r.client ~ts:r.ts
+                ~kind:r.kind ~op:r.op ()
+            in
+            Bp_crypto.Verify_batch.Keyed
+              {
+                signer = Config.identity cfg r.client;
+                msg = payload;
+                signature = r.client_sig;
+              })
+          batch
+      in
+      let ctx = Bp_crypto.Verify_batch.global () in
+      let verdicts =
+        Bp_crypto.Verify_batch.verify ?cache ~keystore:cfg.Config.keystore ctx
+          jobs
+      in
+      List.for_all Fun.id verdicts
+
 let batch_digest ?cache batch =
   let ctx = Bp_crypto.Sha256.init () in
   let image =

@@ -92,6 +92,15 @@ val make_request :
 
 val request_valid : ?cache:Bp_crypto.Verify_cache.t -> Config.t -> request -> bool
 
+val requests_valid :
+  ?cache:Bp_crypto.Verify_cache.t -> Config.t -> request list -> bool
+(** Conjunction of {!request_valid} over the batch, with the signature
+    checks fanned out as one [Bp_crypto.Verify_batch] batch (through the
+    process-global context, so [--verify-jobs] applies). Verdict is
+    identical to the sequential fold at any worker count; the only
+    observable difference is that verification does not short-circuit at
+    the first invalid request. *)
+
 val batch_digest : ?cache:Bp_crypto.Verify_cache.t -> request list -> string
 (** Digest of a batch proposal. In content-addressed mode this hashes the
     requests' content-addressed images (same value for the same batch

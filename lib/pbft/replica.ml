@@ -20,6 +20,15 @@ type slot = {
   mutable executed : bool;
   mutable in_pipeline : bool;
       (* counted in [t.pipeline]: has a digest, not yet committed *)
+  mutable verify_ready : Time.t;
+      (* modeled verification cost: simulated instant at which this
+         slot's signature checks finish on the replica's verify
+         resource; [Time.zero] (always, when the model is off) means
+         "already done" *)
+  mutable prefetch : (unit -> unit) option;
+      (* join handle of an asynchronous verification prefetch submitted
+         when the slot entered the pipeline as a non-head slot; invoked
+         (once) before the slot is judged in check_prepared *)
 }
 
 type status = Normal | View_changing of int
@@ -39,6 +48,10 @@ type t = {
   execute : seq:int -> Msg.request -> string;
   mutable on_executed : seq:int -> Msg.request list -> unit;
   mutable verifier : kind:int -> op:string -> bool;
+  mutable preverify : Msg.request list -> (unit -> unit) option;
+      (* asynchronous verification prefetch hook (see set_preverifier):
+         submit whatever crypto the verification routines will need for
+         this batch, return the join closure — or None if nothing to do *)
   mutable view : int;
   mutable status : status;
   mutable next_seq : int; (* primary: next sequence to assign *)
@@ -75,6 +88,9 @@ type t = {
   mutable fetching : bool;
   mutable stopped : bool;
   mutable suppress_commits : bool;
+  mutable verify_busy : Time.t;
+      (* modeled verification resource: simulated instant at which the
+         replica's verification cores drain the work already booked *)
 }
 
 let id t = t.id
@@ -85,6 +101,7 @@ let last_executed t = t.last_exec
 let low_watermark t = t.low_watermark
 let exec_chain t = t.chain
 let set_verifier t v = t.verifier <- v
+let set_preverifier t f = t.preverify <- f
 let set_on_executed t f = t.on_executed <- f
 let suppress_commit_votes t b = t.suppress_commits <- b
 
@@ -98,6 +115,29 @@ let occupancy_samples t = t.occ_samples
 let open_slot_count t = Int_map.cardinal t.slots
 let archive_size t = Hashtbl.length t.archive
 
+(* Modeled verification cost. The simulator charges zero simulated time
+   for crypto (the only time model is the NIC and the links), which is
+   right for the golden experiments but hides the verify bottleneck the
+   pipeline ablations study. When [Config.verify_cost] is positive, a
+   slot entering the pipeline books its verification work — batch size
+   plus 2f proof signatures, divided across [Config.verify_jobs]
+   simulated cores — on the replica's single verification resource, and
+   the slot's commit vote waits for the booked work to drain (see
+   check_prepared). With the default zero cost nothing is booked and
+   the seed timing is bit-identical. *)
+let charge_verification t s =
+  let cost = t.cfg.Config.verify_cost in
+  if Time.(cost > Time.zero) then begin
+    let units = List.length s.batch + (2 * t.cfg.Config.f) in
+    let jobs = t.cfg.Config.verify_jobs in
+    let rounds = (units + jobs - 1) / jobs in
+    let service = Time.scale cost (float_of_int rounds) in
+    let start = Time.max (Engine.now t.engine) t.verify_busy in
+    let ready = Time.add start service in
+    t.verify_busy <- ready;
+    s.verify_ready <- ready
+  end
+
 (* A slot enters the pipeline when it gains a digest (the primary's own
    proposal, an accepted pre-prepare, or a new-view re-proposal) and
    leaves when it commits. The per-slot flag keeps the counter exact
@@ -107,7 +147,8 @@ let pipeline_enter t s =
     s.in_pipeline <- true;
     t.pipeline <- t.pipeline + 1;
     t.occ_sum <- t.occ_sum + t.pipeline;
-    t.occ_samples <- t.occ_samples + 1
+    t.occ_samples <- t.occ_samples + 1;
+    charge_verification t s
   end
 
 let pipeline_leave t s =
@@ -182,6 +223,8 @@ let slot_of t seq =
           committed = false;
           executed = false;
           in_pipeline = false;
+          verify_ready = Time.zero;
+          prefetch = None;
         }
       in
       t.slots <- Int_map.add seq s t.slots;
@@ -487,6 +530,16 @@ and check_prepared t s =
            rejections. Without that, a prepared-but-invalid slot wedges
            the window behind endless view changes. At depth 1 the seed
            semantics are unchanged: a failing verdict always withholds. *)
+        (* Join the asynchronous verification prefetch first, if one was
+           submitted when the slot entered the pipeline: the signature
+           checks it fanned out land in the per-node cache, so the
+           verification routines below mostly hit. Joining is free when
+           the batch already drained on worker domains. *)
+        (match s.prefetch with
+        | Some join ->
+            s.prefetch <- None;
+            join ()
+        | None -> ());
         let all_valid =
           List.for_all (fun r -> t.verifier ~kind:r.Msg.kind ~op:r.Msg.op) s.batch
         in
@@ -495,9 +548,36 @@ and check_prepared t s =
         in
         if all_valid || verdict_final then begin
           s.sent_commit <- true;
-          if not t.suppress_commits then
-            broadcast t
-              (Msg.Commit { view = s.sview; seq = s.seq; digest; replica = t.id })
+          if not t.suppress_commits then begin
+            let now = Engine.now t.engine in
+            if Time.(s.verify_ready <= now) then
+              broadcast t
+                (Msg.Commit { view = s.sview; seq = s.seq; digest; replica = t.id })
+            else begin
+              (* Modeled verification (Config.verify_cost) still in
+                 flight for this slot: the vote goes out when the
+                 simulated verify resource drains it. The guards re-check
+                 at fire time that the slot still stands for the same
+                 (view, digest) — a view change in between resets
+                 sent_commit and re-proposes under a new sview. *)
+              let view_c = s.sview in
+              ignore
+                (Engine.schedule t.engine ~after:(Time.diff s.verify_ready now)
+                   (fun () ->
+                     if
+                       (not t.stopped) && is_normal t && s.sent_commit
+                       && s.sview = view_c
+                       && not t.suppress_commits
+                       &&
+                       match s.digest with
+                       | Some d -> String.equal d digest
+                       | None -> false
+                     then
+                       broadcast t
+                         (Msg.Commit
+                            { view = view_c; seq = s.seq; digest; replica = t.id })))
+            end
+          end
         end
       end
 
@@ -678,7 +758,9 @@ and handle_pre_prepare t ~view ~seq ~digest ~batch =
     is_normal t && view = t.view && in_window t seq
     && Config.primary_of_view t.cfg view <> t.id
     && String.equal digest (digest_of_batch t batch)
-    && List.for_all (Msg.request_valid ?cache:t.cache t.cfg) batch
+    (* One fanned Verify_batch submission for the whole batch's client
+       signatures, not a per-request loop (verdict identical). *)
+    && Msg.requests_valid ?cache:t.cache t.cfg batch
   then begin
     let s = slot_of t seq in
     match s.digest with
@@ -696,6 +778,12 @@ and handle_pre_prepare t ~view ~seq ~digest ~batch =
           s.digest <- Some digest;
           s.batch <- batch;
           pipeline_enter t s;
+          (* Non-head slot: its verdict can wait (provisional/final
+             machinery above), so kick the verification routines' crypto
+             off the critical path now and join when the slot is judged
+             in check_prepared. The head slot is judged synchronously —
+             nothing to overlap with. *)
+          if s.seq > t.last_exec + 1 then s.prefetch <- t.preverify batch;
           List.iter (fun r -> cancel_request_timer t (request_key r)) batch;
           List.iter (fun r -> arm_request_timer t r) batch;
           send_prepare t s;
@@ -925,6 +1013,7 @@ let create ?cache transport cfg ~id ~execute () =
       execute;
       on_executed = (fun ~seq:_ _ -> ());
       verifier = (fun ~kind:_ ~op:_ -> true);
+      preverify = (fun _ -> None);
       view = 0;
       status = Normal;
       next_seq = 1;
@@ -948,6 +1037,7 @@ let create ?cache transport cfg ~id ~execute () =
       fetching = false;
       stopped = false;
       suppress_commits = false;
+      verify_busy = Time.zero;
     }
   in
   (* Sequence 0 is a virtual, pre-executed genesis slot. *)

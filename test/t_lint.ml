@@ -117,6 +117,10 @@ let test_policy () =
     (has "R2-domain" "lib/pbft/replica.ml");
   Alcotest.(check bool) "parallel exempt from R2-domain" false
     (has "R2-domain" "lib/parallel/pool.ml");
+  Alcotest.(check bool) "verify_batch exempt from R2-domain" false
+    (has "R2-domain" "lib/crypto/verify_batch.ml");
+  Alcotest.(check bool) "rest of crypto still gets R2-domain" true
+    (has "R2-domain" "lib/crypto/signer.ml");
   Alcotest.(check bool) "pbft gets R5-rawverify" true
     (has "R5-rawverify" "lib/pbft/replica.ml");
   Alcotest.(check bool) "core gets R5-rawverify" true
@@ -125,6 +129,21 @@ let test_policy () =
     (has "R5-rawverify" "lib/crypto/verify_cache.ml");
   Alcotest.(check int) "bin gets nothing" 0
     (List.length (Lint.policy ~source:"bin/blockplane_cli.ml"))
+
+(* The policy exemption, proven end-to-end on the fixture: the same .cmt
+   full of multicore primitives is clean when linted under
+   lib/crypto/verify_batch's rule set but flags under any other
+   lib/crypto module's. *)
+let test_r2_domain_exemption_applies () =
+  let lint_as source =
+    Lint.lint_cmt ~rules:(Lint.policy ~source) (fixture "Fx_r2")
+  in
+  Alcotest.(check int) "verify_batch source: no R2-domain findings" 0
+    (count "R2-domain" (lint_as "lib/crypto/verify_batch.ml"));
+  Alcotest.(check int) "other crypto source: R2-domain findings remain" 3
+    (count "R2-domain" (lint_as "lib/crypto/signer.ml"));
+  Alcotest.(check int) "parallel source: no R2-domain findings" 0
+    (count "R2-domain" (lint_as "lib/parallel/pool.ml"))
 
 (* The teeth of the suite: the real library tree must be clean. Any
    regression — a reintroduced Option.get, a new module without an .mli, a
@@ -154,6 +173,8 @@ let suite =
         Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
         Alcotest.test_case "allowlist suppression" `Quick test_allowlist;
         Alcotest.test_case "per-directory policy" `Quick test_policy;
+        Alcotest.test_case "R2-domain exemption is path-scoped" `Quick
+          test_r2_domain_exemption_applies;
         Alcotest.test_case "real lib tree is clean" `Quick test_real_tree_clean;
       ] );
   ]

@@ -91,6 +91,19 @@ let lib_dir_of source =
   | "lib" :: dir :: _ :: _ -> Some dir
   | _ -> None
 
+(* Shared-memory parallelism is confined to two audited modules: the
+   domain pool itself (all of lib/parallel) and the batched-verification
+   wrapper built directly on it (lib/crypto/verify_batch, whose global
+   context and stats need a mutex). Everything else in lib/crypto — and
+   every other lib directory — stays single-domain deterministic. *)
+let r2_domain_exempt source =
+  match lib_dir_of source with
+  | Some "parallel" -> true
+  | _ ->
+      let norm = normalize_source source in
+      String.length norm >= 23
+      && String.equal (String.sub norm 0 23) "lib/crypto/verify_batch"
+
 let policy ~source =
   match lib_dir_of source with
   | None -> []
@@ -99,10 +112,7 @@ let policy ~source =
       List.concat
         [
           [ "R2-nondet"; "R4-print"; "R4-mli" ];
-          (* Shared-memory parallelism lives in lib/parallel only: replica
-             and simulator code stays single-domain deterministic, and the
-             pool is the one audited place that touches Domain/Mutex. *)
-          (if in_dirs [ "parallel" ] then [] else [ "R2-domain" ]);
+          (if r2_domain_exempt source then [] else [ "R2-domain" ]);
           (if in_dirs [ "sim"; "pbft"; "paxos"; "net"; "codec" ] then
              [ "R1-polycmp" ]
            else []);
@@ -328,8 +338,8 @@ let check_ident ctx (e : Typedtree.expression) path =
       (Printf.sprintf
          "%s brings shared-memory parallelism into deterministic code; \
           multicore primitives (Domain/Atomic/Mutex/Condition) are confined \
-          to lib/parallel — express the work as independent Runner.plan \
-          tasks instead"
+          to lib/parallel and lib/crypto/verify_batch — express the work as \
+          independent Runner.plan tasks or a Verify_batch batch instead"
          name);
   if List.mem qual hiter_fns then
     report ctx ~rule:"R2-hiter" ~loc
