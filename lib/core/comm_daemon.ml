@@ -132,7 +132,8 @@ let on_sign_response t ~dest ~comm_seq ~identity ~signature =
             (* Single-signature batch: stays inline on this domain, but
                goes through the same probe/verify/record path as the
                fanned bundles, so the daemon's verdicts share the
-               per-node cache discipline. *)
+               per-node cache discipline (probe/record on the protocol
+               domain only — enforced by bplint R7-parpure). *)
             Bp_crypto.Verify_batch.verify_one ~cache:vcache
               ~keystore:(Unit_node.keystore t.node)
               (Bp_crypto.Verify_batch.global ())

@@ -101,7 +101,10 @@ let bundle_jobs ~from_participant ~statement sigs =
    sequential counting rule exactly: an identity only enters [seen] once
    a signature of its verifies, so several (even byzantine-duplicated)
    copies count at most once, and the count — hence the accept verdict —
-   is identical at any worker count. *)
+   is identical at any worker count. The jobs carry only immutable data
+   (strings); everything mutable — [t.vcache], [seen], the keystore —
+   stays on this domain, a discipline bplint's R6-domainescape and
+   R7-parpure passes check mechanically on every build. *)
 let valid_sig_bundle t ~from_participant ~statement ~needed sigs =
   let eligible = eligible_sigs ~from_participant sigs in
   let jobs =

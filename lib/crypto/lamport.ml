@@ -63,6 +63,9 @@ let verify pk msg { revealed; other_hash } =
         with Exit -> false)
        && String.equal (Sha256.digest (Buffer.contents buf)) pk
      end
+(* Audited for pool workers (bplint R7-parpure): verification hashes
+   immutable inputs and touches no protocol-domain state. *)
+[@@bplint.parallel_pure]
 
 let signature_size { revealed; other_hash } =
   Array.fold_left (fun acc s -> acc + String.length s) 0 revealed

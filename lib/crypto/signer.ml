@@ -72,6 +72,10 @@ let verify_key key ~msg ~signature =
       match Merkle_sig.decode signature with
       | None -> false
       | Some s -> List.exists (fun root -> Merkle_sig.verify root msg s) roots)
+(* Audited for pool workers (bplint R7-parpure): operates on an immutable
+   [key] snapshot and never touches the keystore hashtable, the verify
+   cache, or any other protocol-domain state. *)
+[@@bplint.parallel_pure]
 
 let verify t ~signer ~msg ~signature =
   match snapshot t ~signer with

@@ -157,7 +157,12 @@ let submit ?cache ~keystore t jobs_list =
                 | Some _ -> Some (signer, msg, signature)
               in
               let thunk =
-                (* Snapshot on the calling domain, before fan-out. *)
+                (* Snapshot on the calling domain, before fan-out. The
+                   thunk closes over the immutable [key] view only —
+                   never the keystore or the cache — which is exactly
+                   what bplint R6-domainescape/R7-parpure verify on
+                   every build by slicing these thunks out of the
+                   [Pool.submit] below. *)
                 match Signer.snapshot keystore ~signer with
                 | None -> fun () -> false
                 | Some key ->

@@ -19,7 +19,16 @@
       once, which lets callers overlap verification with other work.
 
     Handles are single-consumer: {!await} from the domain that submitted
-    (a second {!await} returns the cached results). *)
+    (a second {!await} returns the cached results).
+
+    The task contract — capture only immutable snapshots, never reach
+    protocol-domain state (verify cache, keystore, network, RNG, wall
+    clock) from inside a task — is not just documentation: bplint's
+    interprocedural R6-domainescape and R7-parpure passes check every
+    closure passed to {!submit} / {!run} / {!map} against it on each
+    build, following calls across modules through a whole-program call
+    graph. Audited leaf functions opt in with
+    [[@@bplint.parallel_pure]]. *)
 
 type t
 

@@ -534,7 +534,9 @@ and check_prepared t s =
            submitted when the slot entered the pipeline: the signature
            checks it fanned out land in the per-node cache, so the
            verification routines below mostly hit. Joining is free when
-           the batch already drained on worker domains. *)
+           the batch already drained on worker domains. Cache writes
+           happen here, after the join, never on the workers — the
+           submit/record split that bplint R7-parpure verifies. *)
         (match s.prefetch with
         | Some join ->
             s.prefetch <- None;

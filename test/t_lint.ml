@@ -1,9 +1,9 @@
 (* The bplint static-analysis pass (tools/bplint) — fixture modules under
    tools/bplint/fixtures exercise each rule, and a final test scans the
-   real lib/ tree and requires zero findings, so reintroducing a hazard
+   real tree and requires zero findings, so reintroducing a hazard
    (polymorphic compare on protocol state, a wall-clock read, a swallowed
-   exception on a verification path, ...) fails `dune runtest` even before
-   `dune build @lint` runs. *)
+   exception on a verification path, a pool job touching the verify
+   cache, ...) fails `dune runtest` even before `dune build @lint` runs. *)
 
 (* The test binary runs in [_build/default/test]; the .cmt artifacts live
    one level up, in the build context root. *)
@@ -41,6 +41,15 @@ let show diags = String.concat "\n" (List.map Lint.to_string diags)
 let check_count ~msg rule expected diags =
   Alcotest.(check int) (Printf.sprintf "%s [%s]\n%s" msg rule (show diags)) expected
     (count rule diags)
+
+let message_mem needle diags =
+  List.exists
+    (fun (d : Lint.diagnostic) ->
+      let m = d.Lint.message and nl = String.length needle in
+      let ml = String.length m in
+      let rec at i = i + nl <= ml && (String.equal (String.sub m i nl) needle || at (i + 1)) in
+      at 0)
+    diags
 
 let test_r1_polycmp () =
   let diags = Lint.lint_cmt ~rules:[ "R1-polycmp" ] (fixture "Fx_r1") in
@@ -84,6 +93,39 @@ let test_r5 () =
   check_count ~msg:"bare Signer.verify" "R5-rawverify" 1 diags;
   Alcotest.(check int) "total findings" 1 (List.length diags)
 
+(* R6-domainescape: each bad_* pattern in the fixture yields exactly one
+   finding; the good_* twins and the allow-attributed site yield none. *)
+let test_r6_domainescape () =
+  let diags = Lint.lint_cmt ~rules:[ "R6-domainescape" ] (fixture "Fx_r6") in
+  check_count
+    ~msg:
+      "module-ref read + field write + hashtbl read + post-submit write + \
+       thunk accumulation"
+    "R6-domainescape" 5 diags;
+  Alcotest.(check bool) "post-submit write is called out" true
+    (message_mem "after the submit call" diags);
+  Alcotest.(check bool) "hashtable capture is called out" true
+    (message_mem "hashtable" diags)
+
+(* R7-parpure: direct violations, a cross-module hop, and a two-hop
+   chain that only the call graph can see; the pure twin, the
+   probe-before-fan-out twin and the [@@bplint.parallel_pure]-annotated
+   path stay clean. *)
+let test_r7_parpure () =
+  let graph = Lint.build_graph [ fixture "Fx_r7"; fixture "Fx_r7_helper" ] in
+  let diags = Lint.lint_cmt ~graph ~rules:[ "R7-parpure" ] (fixture "Fx_r7") in
+  check_count
+    ~msg:"cache record + keystore + two hops + cross module" "R7-parpure" 4
+    diags;
+  Alcotest.(check bool) "multi-hop chain is spelled out" true
+    (message_mem "call path:" diags);
+  Alcotest.(check bool) "Random is the two-hop target" true
+    (message_mem "Stdlib.Random.int" diags);
+  (* Without the graph the interprocedural hops are invisible, but the
+     direct violations (cache record, keystore) are still caught. *)
+  let direct = Lint.lint_cmt ~rules:[ "R7-parpure" ] (fixture "Fx_r7") in
+  check_count ~msg:"graph-free: direct violations only" "R7-parpure" 2 direct
+
 let test_clean_fixture () =
   let diags = Lint.lint_cmt ~rules:Lint.all_rules (fixture "Fx_clean") in
   Alcotest.(check int) (Printf.sprintf "clean module\n%s" (show diags)) 0
@@ -100,9 +142,31 @@ let test_allowlist () =
   let diags = Lint.lint_cmt ~allowlist:other ~rules:[ "R1-polycmp" ] (fixture "Fx_r1") in
   Alcotest.(check int) "non-matching entry" 4 (List.length diags)
 
+(* Satellite regression: allowlist patterns and the R2-domain exemption
+   are anchored on whole path segments — a near-miss filename sharing a
+   prefix must not inherit either. *)
+let test_segment_matching () =
+  Alcotest.(check bool) "exact file matches" true
+    (Lint_diag.path_matches ~pattern:"lib/crypto/verify_batch"
+       "lib/crypto/verify_batch.ml");
+  Alcotest.(check bool) "prefix near-miss does not match" false
+    (Lint_diag.path_matches ~pattern:"lib/crypto/verify_batch"
+       "lib/crypto/verify_batchx.ml");
+  Alcotest.(check bool) "substring inside a segment does not match" false
+    (Lint_diag.path_matches ~pattern:"crypto" "lib/mycrypto/foo.ml");
+  Alcotest.(check bool) "segment run matches mid-path" true
+    (Lint_diag.path_matches ~pattern:"crypto/verify_batch"
+       "lib/crypto/verify_batch.ml");
+  let has rule source = List.mem rule (Lint.policy ~source) in
+  Alcotest.(check bool) "verify_batch.ml is R2-domain exempt" false
+    (has "R2-domain" "lib/crypto/verify_batch.ml");
+  Alcotest.(check bool) "verify_batchx.ml is NOT exempt" true
+    (has "R2-domain" "lib/crypto/verify_batchx.ml")
+
 let test_policy () =
   (* Consensus code gets the full rule set; generic lib code a subset;
-     non-library code none. *)
+     executables and tools a determinism/totality baseline; fixtures
+     nothing. *)
   let has rule source = List.mem rule (Lint.policy ~source) in
   Alcotest.(check bool) "pbft gets R1" true (has "R1-polycmp" "lib/pbft/replica.ml");
   Alcotest.(check bool) "harness exempt from R1" false
@@ -127,8 +191,25 @@ let test_policy () =
     (has "R5-rawverify" "lib/core/unit_node.ml");
   Alcotest.(check bool) "crypto exempt from R5-rawverify" false
     (has "R5-rawverify" "lib/crypto/verify_cache.ml");
-  Alcotest.(check int) "bin gets nothing" 0
-    (List.length (Lint.policy ~source:"bin/blockplane_cli.ml"))
+  (* The parallel-purity rules run across the whole scanned tree. *)
+  Alcotest.(check bool) "lib gets R6" true
+    (has "R6-domainescape" "lib/crypto/verify_batch.ml");
+  Alcotest.(check bool) "lib gets R7" true
+    (has "R7-parpure" "lib/core/unit_node.ml");
+  Alcotest.(check bool) "bench gets R7" true (has "R7-parpure" "bench/main.ml");
+  (* The former coverage gap: bench/bin/tools now carry a baseline. *)
+  Alcotest.(check bool) "bench gets R2-nondet" true
+    (has "R2-nondet" "bench/main.ml");
+  Alcotest.(check bool) "bin gets R3-partial" true
+    (has "R3-partial" "bin/blockplane_cli.ml");
+  Alcotest.(check bool) "bin has no .mli requirement" false
+    (has "R4-mli" "bin/blockplane_cli.ml");
+  Alcotest.(check bool) "tools modules need an .mli" true
+    (has "R4-mli" "tools/bplint/lint.ml");
+  Alcotest.(check bool) "tools main.ml exempt from R4-mli" false
+    (has "R4-mli" "tools/bplint/main.ml");
+  Alcotest.(check int) "lint fixtures get nothing" 0
+    (List.length (Lint.policy ~source:"tools/bplint/fixtures/fx_r6.ml"))
 
 (* The policy exemption, proven end-to-end on the fixture: the same .cmt
    full of multicore primitives is clean when linted under
@@ -145,19 +226,60 @@ let test_r2_domain_exemption_applies () =
   Alcotest.(check int) "parallel source: no R2-domain findings" 0
     (count "R2-domain" (lint_as "lib/parallel/pool.ml"))
 
-(* The teeth of the suite: the real library tree must be clean. Any
-   regression — a reintroduced Option.get, a new module without an .mli, a
-   Hashtbl.iter feeding protocol state — lands here as a test failure with
+(* The stable machine-readable output consumed by CI tooling. *)
+let test_json_format () =
+  let d =
+    {
+      Lint.rule = "R7-parpure";
+      file = "a.ml";
+      line = 2;
+      col = 4;
+      message = "needs \"quoting\"";
+    }
+  in
+  Alcotest.(check string) "stable schema"
+    "[{\"rule\":\"R7-parpure\",\"file\":\"a.ml\",\"line\":2,\"col\":4,\"message\":\"needs \\\"quoting\\\"\"}]"
+    (Lint_diag.findings_json [ d ])
+
+(* Baseline subtraction keys on (rule, file, message) and ignores
+   line/col, so recorded debt survives unrelated code motion while new
+   findings still fail. *)
+let test_baseline () =
+  let d rule file message = { Lint.rule; file; line = 3; col = 1; message } in
+  let diags =
+    [ d "R2-nondet" "bench/main.ml" "m1"; d "R3-partial" "bin/x.ml" "m2" ]
+  in
+  let baseline =
+    Lint_diag.baseline_of_lines [ "# comment"; "R2-nondet\tbench/main.ml\tm1" ]
+  in
+  match Lint_diag.filter_baseline baseline diags with
+  | [ keep ] ->
+      Alcotest.(check string) "only the new finding survives" "R3-partial"
+        keep.Lint.rule
+  | other ->
+      Alcotest.failf "expected exactly one surviving finding, got %d:\n%s"
+        (List.length other) (show other)
+
+(* The teeth of the suite: the real tree must be clean. Any regression —
+   a reintroduced Option.get, a new module without an .mli, a pool job
+   reaching the verify cache — lands here as a test failure with
    file:line diagnostics. *)
 let test_real_tree_clean () =
   let allowlist =
     Lint.load_allowlist
       (Filename.concat (root ()) (Filename.concat "tools/bplint" "bplint.allow"))
   in
-  let diags = Lint.scan ~allowlist ~root:(root ()) () in
+  let diags, stats = Lint.scan ~allowlist ~root:(root ()) () in
   Alcotest.(check int)
-    (Printf.sprintf "lib/ tree has findings:\n%s" (show diags))
-    0 (List.length diags)
+    (Printf.sprintf "tree has findings:\n%s" (show diags))
+    0 (List.length diags);
+  (* The scan really did cover the tree and build a whole-program graph. *)
+  Alcotest.(check bool) "scanned a real number of files" true
+    (stats.Lint.files_scanned > 20);
+  Alcotest.(check bool) "call graph has definitions" true
+    (stats.Lint.graph_defs > 200);
+  Alcotest.(check bool) "call graph has edges" true
+    (stats.Lint.graph_edges > stats.Lint.graph_defs)
 
 let suite =
   [
@@ -170,11 +292,19 @@ let suite =
         Alcotest.test_case "R3 partial functions and catch-alls" `Quick test_r3;
         Alcotest.test_case "R4 printing and missing mli" `Quick test_r4;
         Alcotest.test_case "R5 raw verify confined to crypto" `Quick test_r5;
+        Alcotest.test_case "R6 domain escape on pool jobs" `Quick
+          test_r6_domainescape;
+        Alcotest.test_case "R7 parallel purity via call graph" `Quick
+          test_r7_parpure;
         Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
         Alcotest.test_case "allowlist suppression" `Quick test_allowlist;
+        Alcotest.test_case "segment-anchored path matching" `Quick
+          test_segment_matching;
         Alcotest.test_case "per-directory policy" `Quick test_policy;
         Alcotest.test_case "R2-domain exemption is path-scoped" `Quick
           test_r2_domain_exemption_applies;
-        Alcotest.test_case "real lib tree is clean" `Quick test_real_tree_clean;
+        Alcotest.test_case "json diagnostic schema" `Quick test_json_format;
+        Alcotest.test_case "baseline subtraction" `Quick test_baseline;
+        Alcotest.test_case "real tree is clean" `Quick test_real_tree_clean;
       ] );
   ]

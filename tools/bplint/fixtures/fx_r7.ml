@@ -1,0 +1,51 @@
+(* R7-parpure fixtures: pool jobs that reach protocol-domain-only
+   operations (verify-cache access, keystore mutation, Random) directly
+   or through call chains, each paired with a clean twin. Never
+   executed. *)
+
+open Bp_parallel
+
+(* BAD: records a verify-cache verdict inside a pool job — the cache is
+   protocol-domain state; record belongs after the join. *)
+let bad_cache_record cache =
+  Pool.map ~jobs:2
+    [
+      (fun () ->
+        Bp_crypto.Verify_cache.record cache ~signer:"a" ~msg:"m"
+          ~signature:"s" ~verdict:true);
+    ]
+
+(* BAD: mutates the keystore inside a pool job. *)
+let bad_keystore ks =
+  Pool.map ~jobs:2 [ (fun () -> Bp_crypto.Signer.add_identity ks "node9") ]
+
+(* A same-module hop on the way to the helper module's leak. *)
+let mix_step n = Fx_r7_helper.leaky_hop n
+
+(* BAD: Random is reachable only through two call hops
+   (mix_step -> Fx_r7_helper.leaky_hop -> leaky_entropy -> Random.int);
+   only the cross-module call graph can see this. *)
+let bad_two_hops () = Pool.map ~jobs:2 [ (fun () -> mix_step 3) ]
+
+(* BAD: the forbidden call sits one module away. *)
+let bad_cross_module () =
+  Pool.map ~jobs:2 [ (fun () -> Fx_r7_helper.leaky_entropy 1) ]
+
+(* OK: pure arithmetic across the same module boundary. *)
+let good_pure_math () =
+  Pool.map ~jobs:2 [ (fun () -> Fx_r7_helper.pure_mix 1 2) ]
+
+(* OK: the cache is probed before fan-out on the calling domain; the job
+   only captures the immutable verdict. *)
+let good_cache_prehit cache =
+  let hit =
+    Bp_crypto.Verify_cache.probe cache ~signer:"a" ~msg:"m" ~signature:"s"
+  in
+  Pool.map ~jobs:2
+    [ (fun () -> match hit with Some v -> v | None -> false) ]
+
+(* The audited escape hatch: reviewed, deliberately exempt. *)
+let audited_mixer n = Random.int (n + 1) [@@bplint.parallel_pure]
+
+(* OK: the annotated binding is neither reported nor expanded. *)
+let good_annotated () = Pool.map ~jobs:2 [ (fun () -> audited_mixer 3) ]

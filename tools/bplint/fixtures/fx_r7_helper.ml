@@ -1,0 +1,11 @@
+(* Helpers for the R7-parpure fixtures: the interesting cases reach the
+   forbidden operation across a module boundary, which only the
+   cross-module call graph can see. *)
+
+let pure_mix a b = (a * 31) + b
+
+(* Protocol-domain-only: draws from Random. *)
+let leaky_entropy n = Random.int (n + 1)
+
+(* One more hop of indirection on the way to Random. *)
+let leaky_hop n = leaky_entropy n

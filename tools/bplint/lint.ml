@@ -1,4 +1,4 @@
-type diagnostic = {
+type diagnostic = Lint_diag.diagnostic = {
   rule : string;
   file : string;
   line : int;
@@ -17,77 +17,52 @@ let all_rules =
     "R4-print";
     "R4-mli";
     "R5-rawverify";
+    "R6-domainescape";
+    "R7-parpure";
   ]
 
-let to_string d =
-  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+let to_string = Lint_diag.to_string
 
-(* ---------- allowlist ---------- *)
+(* ---------- allowlist (Lint_diag: segment-anchored path matching) ---------- *)
 
-type allowlist = (string * string) list (* rule prefix, path substring *)
+type allowlist = Lint_diag.allowlist
 
-let empty_allowlist = []
-
-let contains_substring ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  if nl = 0 then true
-  else begin
-    let found = ref false in
-    for i = 0 to hl - nl do
-      if (not !found) && String.equal (String.sub hay i nl) needle then
-        found := true
-    done;
-    !found
-  end
-
-let allowlist_of_lines lines =
-  List.filter_map
-    (fun line ->
-      let line = String.trim line in
-      if String.length line = 0 || line.[0] = '#' then None
-      else
-        match String.split_on_char ' ' line with
-        | rule :: path :: _ when path <> "" -> Some (rule, path)
-        | _ -> None)
-    lines
-
-let load_allowlist path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let lines = ref [] in
-    (try
-       while true do
-         lines := input_line ic :: !lines
-       done
-     with End_of_file -> ());
-    close_in ic;
-    allowlist_of_lines (List.rev !lines)
-  end
-
+let empty_allowlist = Lint_diag.empty_allowlist
+let allowlist_of_lines = Lint_diag.allowlist_of_lines
+let load_allowlist = Lint_diag.load_allowlist
+let allowlisted = Lint_diag.allowlisted
 let rule_matches ~prefix rule = String.starts_with ~prefix rule
 
-let allowlisted allowlist ~rule ~file =
-  List.exists
-    (fun (p, sub) -> rule_matches ~prefix:p rule && contains_substring ~needle:sub file)
-    allowlist
+(* ---------- call graph ---------- *)
+
+type graph = Lint_graph.t
+
+let empty_graph = Lint_graph.empty
+let build_graph = Lint_graph.build
+let graph_size = Lint_graph.size
 
 (* ---------- policy ---------- *)
 
+(* The directories the scanner covers; also the anchors used to
+   normalize the source paths recorded in .cmt files. *)
+let scanned_dirs = [ "lib"; "bench"; "bin"; "tools" ]
+
 let normalize_source source =
   (* dune records sources relative to the build context root, but be
-     defensive about "./" prefixes and absolute paths: anchor at the first
-     "lib" path segment when there is one. *)
+     defensive about "./" prefixes and absolute paths: anchor at the
+     first scanned-directory path segment when there is one. *)
   let parts = String.split_on_char '/' source in
-  let rec from_lib = function
-    | "lib" :: _ as rest -> String.concat "/" rest
-    | _ :: tl -> from_lib tl
+  let rec from_anchor = function
+    | d :: _ as rest when List.mem d scanned_dirs -> String.concat "/" rest
+    | _ :: tl -> from_anchor tl
     | [] -> source
   in
-  from_lib parts
+  from_anchor parts
+
+let source_segments source = String.split_on_char '/' (normalize_source source)
 
 let lib_dir_of source =
-  match String.split_on_char '/' (normalize_source source) with
+  match source_segments source with
   | "lib" :: dir :: _ :: _ -> Some dir
   | _ -> None
 
@@ -95,19 +70,28 @@ let lib_dir_of source =
    domain pool itself (all of lib/parallel) and the batched-verification
    wrapper built directly on it (lib/crypto/verify_batch, whose global
    context and stats need a mutex). Everything else in lib/crypto — and
-   every other lib directory — stays single-domain deterministic. *)
+   every other lib directory — stays single-domain deterministic.
+
+   The exemption is matched on whole path segments (with the extension
+   stripped), never on prefixes or substrings: lib/crypto/verify_batchx.ml
+   does NOT inherit it. *)
 let r2_domain_exempt source =
   match lib_dir_of source with
   | Some "parallel" -> true
-  | _ ->
-      let norm = normalize_source source in
-      String.length norm >= 23
-      && String.equal (String.sub norm 0 23) "lib/crypto/verify_batch"
+  | _ -> (
+      match source_segments source with
+      | [ "lib"; "crypto"; file ] ->
+          String.equal (Filename.remove_extension file) "verify_batch"
+      | _ -> false)
+
+(* R6/R7 run everywhere fan-out calls can appear — which after PR 6 is
+   any scanned directory. The passes are no-ops on files with no fan-out
+   sites, so applying them broadly costs nothing. *)
+let interproc_rules = Lint_interproc.rules
 
 let policy ~source =
-  match lib_dir_of source with
-  | None -> []
-  | Some dir ->
+  match source_segments source with
+  | "lib" :: dir :: _ :: _ ->
       let in_dirs dirs = List.mem dir dirs in
       List.concat
         [
@@ -126,7 +110,29 @@ let policy ~source =
              scope): a stray Signer.verify silently bypasses both the memo
              and its generation-stamped invalidation discipline. *)
           (if in_dirs [ "crypto" ] then [] else [ "R5-rawverify" ]);
+          interproc_rules;
         ]
+  | "bench" :: _ :: _ | "bin" :: _ :: _ ->
+      (* Executables: no .mli to require and console output is their job,
+         but they feed the golden tables, so determinism and totality
+         still apply — and so does the parallel-purity discipline. *)
+      [ "R2-nondet"; "R3-partial" ] @ interproc_rules
+  | "tools" :: rest when rest <> [] ->
+      if List.mem "fixtures" rest then
+        (* Lint fixtures violate rules on purpose; they are linted
+           explicitly by the test suite, never by the tree scan. *)
+        []
+      else
+        let file = List.nth_opt rest (List.length rest - 1) in
+        let is_main =
+          match file with
+          | Some f -> String.equal (Filename.remove_extension f) "main"
+          | None -> false
+        in
+        [ "R2-nondet"; "R3-partial" ]
+        @ (if is_main then [] else [ "R4-mli" ])
+        @ interproc_rules
+  | _ -> []
 
 (* ---------- AST checks ---------- *)
 
@@ -159,33 +165,16 @@ let report ctx ~rule ~(loc : Location.t) message =
       :: ctx.diags
   end
 
-let allows_of_attributes (attrs : Parsetree.attributes) =
-  List.concat_map
-    (fun (a : Parsetree.attribute) ->
-      if not (String.equal a.Parsetree.attr_name.Location.txt "bplint.allow")
-      then []
-      else
-        match a.Parsetree.attr_payload with
-        | Parsetree.PStr
-            [
-              {
-                Parsetree.pstr_desc =
-                  Parsetree.Pstr_eval
-                    ( {
-                        Parsetree.pexp_desc =
-                          Parsetree.Pexp_constant
-                            (Parsetree.Pconst_string (s, _, _));
-                        _;
-                      },
-                      _ );
-                _;
-              };
-            ] ->
-            String.split_on_char ' ' s
-            |> List.concat_map (String.split_on_char ',')
-            |> List.filter (fun r -> r <> "")
-        | _ -> [])
-    attrs
+(* The interprocedural passes track their own [@bplint.allow] scopes
+   (they slice across binding boundaries, so the iterator stack above
+   does not apply); bridge their findings into this context's filters. *)
+let interproc_report ctx ~rule ~loc ~allows message =
+  let saved = ctx.allow_stack in
+  ctx.allow_stack <- allows @ saved;
+  report ctx ~rule ~loc message;
+  ctx.allow_stack <- saved
+
+let allows_of_attributes = Lint_diag.allows_of_attributes
 
 let strip_stdlib name =
   let prefix = "Stdlib." in
@@ -487,7 +476,8 @@ let init_cmt_env ~cmt_path (cmt : Cmt_format.cmt_infos) =
   Env.reset_cache ();
   Envaux.reset_cache ()
 
-let lint_cmt ?(allowlist = empty_allowlist) ~rules path =
+let lint_cmt ?(allowlist = empty_allowlist) ?(graph = Lint_graph.empty) ~rules
+    path =
   let cmt = Cmt_format.read_cmt path in
   init_cmt_env ~cmt_path:path cmt;
   if generated_source cmt.Cmt_format.cmt_sourcefile then []
@@ -519,10 +509,23 @@ let lint_cmt ?(allowlist = empty_allowlist) ~rules path =
     (match cmt.Cmt_format.cmt_annots with
     | Cmt_format.Implementation str ->
         let iter = make_iterator ctx in
-        iter.Tast_iterator.structure iter str
+        iter.Tast_iterator.structure iter str;
+        if List.exists (fun r -> List.mem r rules) Lint_interproc.rules then
+          Lint_interproc.check ~report:(interproc_report ctx) ~graph
+            ~modname:(Lint_graph.normalize_name cmt.Cmt_format.cmt_modname)
+            str
     | _ -> ());
     List.rev ctx.diags
   end
+
+(* ---------- whole-tree scan ---------- *)
+
+type scan_stats = {
+  files_scanned : int;
+  graph_defs : int;
+  graph_edges : int;
+  rule_hits : (string * int) list;
+}
 
 let scan ?(allowlist = empty_allowlist) ~root () =
   let cmts = ref [] in
@@ -544,8 +547,16 @@ let scan ?(allowlist = empty_allowlist) ~root () =
           entries
     | exception Sys_error _ -> ()
   in
-  let lib = Filename.concat root "lib" in
-  if Sys.file_exists lib && Sys.is_directory lib then walk lib;
+  List.iter
+    (fun d ->
+      let dir = Filename.concat root d in
+      if Sys.file_exists dir && Sys.is_directory dir then walk dir)
+    scanned_dirs;
+  let cmts = List.sort String.compare !cmts in
+  (* The call graph spans every scanned .cmt, so a pool job in lib/core
+     is checked through helpers it calls in lib/crypto. *)
+  let graph = Lint_graph.build cmts in
+  let files_scanned = ref 0 in
   let diags =
     List.concat_map
       (fun path ->
@@ -560,13 +571,21 @@ let scan ?(allowlist = empty_allowlist) ~root () =
                 | None -> path
               in
               let rules = policy ~source in
-              if rules = [] then [] else lint_cmt ~allowlist ~rules path
+              if rules = [] then []
+              else begin
+                incr files_scanned;
+                lint_cmt ~allowlist ~graph ~rules path
+              end
             end)
-      (List.sort String.compare !cmts)
+      cmts
   in
-  List.sort
-    (fun a b ->
-      match String.compare a.file b.file with
-      | 0 -> Stdlib.compare (a.line, a.col, a.rule) (b.line, b.col, b.rule)
-      | c -> c)
-    diags
+  let diags = List.sort Lint_diag.compare_diag diags in
+  let graph_defs, graph_edges = Lint_graph.size graph in
+  let rule_hits =
+    List.map
+      (fun rule ->
+        ( rule,
+          List.length (List.filter (fun d -> String.equal d.rule rule) diags) ))
+      all_rules
+  in
+  (diags, { files_scanned = !files_scanned; graph_defs; graph_edges; rule_hits })

@@ -1,0 +1,199 @@
+(* Cross-module call graph over the .cmt files dune produced.
+
+   Nodes are module-level value bindings, named by their normalized
+   qualified path ("Bp_crypto.Verify_batch.submit"); an edge caller ->
+   callee is recorded for every identifier referenced anywhere in the
+   caller's body (including from local closures — a deliberate
+   over-approximation: if the body mentions a function, a pool job built
+   from that body may run it). Wrapped-library name mangling is undone
+   by [normalize_name], so "Bp_crypto__Signer.verify" and
+   "Bp_crypto.Signer.verify" denote the same node.
+
+   What the graph does not see: closures passed through parameters or
+   record fields (e.g. Runner.run_plan's task list) — calls made through
+   those are attributed to the function that *constructed* the closure,
+   not to the caller that eventually invokes it, which is exactly the
+   attribution the parallel-purity passes want. *)
+
+(* Undo dune's wrapped-library mangling: "Lib__Module" -> "Lib.Module".
+   Only a "__" followed by an uppercase letter is a module separator;
+   user identifiers containing "__" (none in this tree) are left alone. *)
+let normalize_name name =
+  let n = String.length name in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + 2 < n
+      && name.[!i] = '_'
+      && name.[!i + 1] = '_'
+      && name.[!i + 2] >= 'A'
+      && name.[!i + 2] <= 'Z'
+    then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b name.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* ---------- module-level bindings ---------- *)
+
+let rec module_structure (me : Typedtree.module_expr) =
+  match me.Typedtree.mod_desc with
+  | Typedtree.Tmod_structure s -> Some s
+  | Typedtree.Tmod_constraint (inner, _, _, _) -> module_structure inner
+  | _ -> None
+
+let rec bindings_of_structure ~prefix (str : Typedtree.structure) =
+  List.concat_map
+    (fun (si : Typedtree.structure_item) ->
+      match si.Typedtree.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+          List.filter_map
+            (fun (vb : Typedtree.value_binding) ->
+              match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+              | Typedtree.Tpat_var (id, _) ->
+                  Some (id, prefix ^ "." ^ Ident.name id, vb)
+              | _ -> None)
+            vbs
+      | Typedtree.Tstr_module mb -> bindings_of_module ~prefix mb
+      | Typedtree.Tstr_recmodule mbs ->
+          List.concat_map (bindings_of_module ~prefix) mbs
+      | _ -> [])
+    str.Typedtree.str_items
+
+and bindings_of_module ~prefix (mb : Typedtree.module_binding) =
+  match (mb.Typedtree.mb_id, module_structure mb.Typedtree.mb_expr) with
+  | Some id, Some inner ->
+      bindings_of_structure ~prefix:(prefix ^ "." ^ Ident.name id) inner
+  | _ -> []
+
+let local_defs ~modname str =
+  List.map (fun (id, qual, _) -> (id, qual)) (bindings_of_structure ~prefix:modname str)
+
+let qualify ~locals path =
+  match path with
+  | Path.Pident id ->
+      List.find_map
+        (fun (i, qual) -> if Ident.same i id then Some qual else None)
+        locals
+  | _ -> Some (normalize_name (Path.name path))
+
+let expr_callees ~locals (e : Typedtree.expression) =
+  let acc = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      Tast_iterator.expr =
+        (fun sub e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (path, _, _) -> (
+              match qualify ~locals path with
+              | Some name -> acc := name :: !acc
+              | None -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.Tast_iterator.expr sub e);
+    }
+  in
+  it.Tast_iterator.expr it e;
+  List.sort_uniq String.compare !acc
+
+(* ---------- the graph ---------- *)
+
+type t = {
+  defs : (string, string list) Hashtbl.t; (* name -> sorted callees *)
+  pure : (string, unit) Hashtbl.t; (* [@bplint.parallel_pure] bindings *)
+  mutable n_edges : int;
+}
+
+let empty = { defs = Hashtbl.create 1; pure = Hashtbl.create 1; n_edges = 0 }
+
+let add_structure t ~modname str =
+  let bindings = bindings_of_structure ~prefix:modname str in
+  let locals = List.map (fun (id, qual, _) -> (id, qual)) bindings in
+  List.iter
+    (fun (_, qual, (vb : Typedtree.value_binding)) ->
+      if Lint_diag.has_attribute "bplint.parallel_pure" vb.Typedtree.vb_attributes
+      then Hashtbl.replace t.pure qual ();
+      let callees =
+        expr_callees ~locals vb.Typedtree.vb_expr
+        |> List.filter (fun c -> not (String.equal c qual))
+      in
+      let prev =
+        match Hashtbl.find_opt t.defs qual with Some l -> l | None -> []
+      in
+      let merged = List.sort_uniq String.compare (prev @ callees) in
+      t.n_edges <- t.n_edges - List.length prev + List.length merged;
+      Hashtbl.replace t.defs qual merged)
+    bindings
+
+let build paths =
+  let t =
+    { defs = Hashtbl.create 512; pure = Hashtbl.create 16; n_edges = 0 }
+  in
+  List.iter
+    (fun path ->
+      match Cmt_format.read_cmt path with
+      | exception _ -> ()
+      | cmt -> (
+          match cmt.Cmt_format.cmt_annots with
+          | Cmt_format.Implementation str ->
+              add_structure t
+                ~modname:(normalize_name cmt.Cmt_format.cmt_modname)
+                str
+          | _ -> ()))
+    paths;
+  t
+
+let callees t name =
+  match Hashtbl.find_opt t.defs name with Some l -> l | None -> []
+
+let is_pure t name = Hashtbl.mem t.pure name
+let size t = (Hashtbl.length t.defs, t.n_edges)
+
+(* ---------- reachability ---------- *)
+
+let find_forbidden t ~roots ~forbidden =
+  let parent : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let q = Queue.create () in
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem visited r) then begin
+        Hashtbl.add visited r ();
+        Queue.add r q
+      end)
+    roots;
+  let result = ref None in
+  while Option.is_none !result && not (Queue.is_empty q) do
+    match Queue.take_opt q with
+    | None -> ()
+    | Some name ->
+        if is_pure t name then
+          (* Audited escape hatch: neither reported nor expanded. *)
+          ()
+        else begin
+          match forbidden name with
+          | Some reason ->
+              let rec chain n acc =
+                match Hashtbl.find_opt parent n with
+                | Some p -> chain p (n :: acc)
+                | None -> n :: acc
+              in
+              result := Some (chain name [], reason)
+          | None ->
+              List.iter
+                (fun c ->
+                  if not (Hashtbl.mem visited c) then begin
+                    Hashtbl.add visited c ();
+                    Hashtbl.replace parent c name;
+                    Queue.add c q
+                  end)
+                (callees t name)
+        end
+  done;
+  !result

@@ -1,0 +1,57 @@
+(** Cross-module call graph over dune's [.cmt] output, for the
+    interprocedural parallel-purity passes (R6/R7).
+
+    Nodes are module-level value bindings named by normalized qualified
+    path (["Bp_crypto.Verify_batch.submit"]); edges over-approximate
+    "may call": every identifier referenced anywhere in a binding's body
+    (including from its local closures) is a callee. Closures that reach
+    a call site through a parameter or a record field are invisible —
+    their calls are attributed to the binding that constructed them. *)
+
+type t
+
+val empty : t
+
+val build : string list -> t
+(** Read each [.cmt] and accumulate its module-level bindings and edges.
+    Unreadable files and interface-only artifacts are skipped. *)
+
+val normalize_name : string -> string
+(** Undo wrapped-library mangling: ["Bp_crypto__Signer.verify"] becomes
+    ["Bp_crypto.Signer.verify"]. *)
+
+val local_defs :
+  modname:string -> Typedtree.structure -> (Ident.t * string) list
+(** The module-level bindings of one structure, as (ident, qualified
+    name) pairs — lets a per-file pass qualify same-module calls the way
+    the graph names them. [modname] must already be normalized. *)
+
+val qualify : locals:(Ident.t * string) list -> Path.t -> string option
+(** The graph name for one referenced path: global paths normalized,
+    same-module idents looked up in [locals], other local idents
+    (parameters, inner lets) [None]. *)
+
+val expr_callees :
+  locals:(Ident.t * string) list -> Typedtree.expression -> string list
+(** Every function/value name referenced in the expression: global paths
+    normalized, same-module idents qualified via [locals], other local
+    idents (parameters, inner lets) dropped. Sorted, deduplicated. *)
+
+val callees : t -> string -> string list
+
+val is_pure : t -> string -> bool
+(** Whether the binding carries [[@@bplint.parallel_pure]] — an audited
+    exemption: reachability neither reports nor expands such a node. *)
+
+val size : t -> int * int
+(** (definitions, edges) — for [--stats]. *)
+
+val find_forbidden :
+  t ->
+  roots:string list ->
+  forbidden:(string -> string option) ->
+  (string list * string) option
+(** Deterministic BFS from [roots] along call edges. Returns the first
+    (in BFS order) call chain ending at a name for which [forbidden]
+    gives a reason, as [(chain, reason)] with [chain] running from root
+    to the offending name. [[@@bplint.parallel_pure]] nodes are pruned. *)
