@@ -20,6 +20,7 @@
      dune exec bench/main.exe -- --no-cache   # disable verify/digest caches
      dune exec bench/main.exe -- --pipeline 4 # consensus pipeline depth
      dune exec bench/main.exe -- --verify-jobs 4   # batch-crypto fan-out
+     dune exec bench/main.exe -- --cluster-send on # cluster-sending WAN path
      BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep
 
    --jobs defaults to Domain.recommended_domain_count. Parallel runs are
@@ -75,7 +76,7 @@ let run_experiment ?pool e =
   in
   (e.Bp_harness.Experiments.id, wall, metrics, vb)
 
-let run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ids =
+let run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send ids =
   let known = List.map (fun e -> e.Bp_harness.Experiments.id) Bp_harness.Experiments.all in
   (match List.filter (fun id -> not (List.mem id known)) ids with
   | [] -> ()
@@ -98,6 +99,10 @@ let run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ids =
     verify_jobs;
   Printf.printf "cache=%s (--no-cache to disable; tables are identical either way)\n"
     (if Bp_crypto.Verify_cache.enabled () then "on" else "off");
+  Printf.printf
+    "cluster-send=%s (--cluster-send on|off; default WAN path for every \
+     world; the clustersend ablation sweeps both regardless)\n"
+    (if cluster_send then "on" else "off");
   Printf.printf "=====================================================\n";
   List.filter_map
     (fun e ->
@@ -405,15 +410,17 @@ let sum_vb_stats stats_list : Bp_crypto.Verify_batch.stats =
     }
     stats_list
 
-let write_json path ~jobs ~pipeline ~verify_jobs ~baseline ~experiments ~micro =
+let write_json path ~jobs ~pipeline ~verify_jobs ~cluster_send ~baseline
+    ~experiments ~micro =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"bp-bench/5\",\n";
+  p "  \"schema\": \"bp-bench/6\",\n";
   p "  \"scale\": %g,\n" scale;
   p "  \"jobs\": %d,\n" jobs;
   p "  \"pipeline\": %d,\n" pipeline;
   p "  \"verify_jobs\": %d,\n" verify_jobs;
+  p "  \"cluster_send\": %b,\n" cluster_send;
   p "  \"cache_enabled\": %b,\n" (Bp_crypto.Verify_cache.enabled ());
   (let c = Bp_crypto.Verify_cache.counters () in
    let nodes = Bp_crypto.Verify_cache.instances () in
@@ -486,6 +493,7 @@ let () =
   let jobs = ref (Bp_parallel.Pool.default_jobs ()) in
   let pipeline = ref 1 in
   let verify_jobs = ref 1 in
+  let cluster_send = ref false in
   let missing flag =
     Printf.eprintf "bench: %s requires an argument\n" flag;
     exit 2
@@ -531,6 +539,14 @@ let () =
               "bench: --verify-jobs expects a positive integer, got %S\n" n;
             exit 2)
     | [ "--verify-jobs" ] -> missing "--verify-jobs"
+    | "--cluster-send" :: v :: rest -> (
+        match v with
+        | "on" -> cluster_send := true; parse rest
+        | "off" -> cluster_send := false; parse rest
+        | _ ->
+            Printf.eprintf "bench: --cluster-send expects on or off, got %S\n" v;
+            exit 2)
+    | [ "--cluster-send" ] -> missing "--cluster-send"
     | a :: rest -> a :: parse rest
     | [] -> []
   in
@@ -540,7 +556,9 @@ let () =
   let jobs = !jobs in
   let pipeline = !pipeline in
   let verify_jobs = !verify_jobs in
+  let cluster_send = !cluster_send in
   Bp_harness.Runner.set_default_pipeline pipeline;
+  Bp_harness.Runner.set_default_cluster_send cluster_send;
   (* --verify-jobs drives both mechanisms: the modeled in-replica
      parallelism (worlds with verify_cost enabled) and the real
      domain-pool fan-out behind the receive paths. *)
@@ -558,10 +576,11 @@ let () =
     | [ "micro" ] -> ([], run_micro ())
     | [] ->
         let experiments =
-          run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs []
+          run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send []
         in
         (experiments, run_micro ())
-    | ids -> (run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ids, [])
+    | ids ->
+        (run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send ids, [])
   in
   match !json_path with
   | None -> ()
@@ -570,8 +589,8 @@ let () =
         match !baseline_path with None -> [] | Some p -> read_baseline p
       in
       try
-        write_json path ~jobs ~pipeline ~verify_jobs ~baseline ~experiments
-          ~micro;
+        write_json path ~jobs ~pipeline ~verify_jobs ~cluster_send ~baseline
+          ~experiments ~micro;
         if path <> "/dev/null" then Printf.printf "\nwrote %s\n%!" path
       with Sys_error msg ->
         Printf.eprintf "bench: cannot write JSON report: %s\n" msg;

@@ -64,6 +64,22 @@ let set_verify_jobs jobs =
   Bp_harness.Runner.set_default_verify_jobs jobs;
   Bp_crypto.Verify_batch.set_default_jobs jobs
 
+let cluster_send_arg =
+  let doc =
+    "Inter-participant WAN path: $(b,off) (the default) ships fi+1 \
+     signature bundles per record, $(b,on) switches every world to \
+     expected-constant byzantine cluster-sending (chain-head probes with \
+     one signature each, receiver-side local agreement and intra-unit \
+     dispersal). The golden paper tables are recorded under $(b,off); \
+     the ablation-clustersend experiment sweeps both modes regardless."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("on", true); ("off", false) ]) false
+    & info [ "cluster-send" ] ~docv:"on|off" ~doc)
+
+let set_cluster_send b = Bp_harness.Runner.set_default_cluster_send b
+
 let jobs_arg =
   let doc =
     "Number of worker domains to fan independent simulation tasks across. \
@@ -100,11 +116,13 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available experiments")
     Term.(const run $ const ())
 
-let run_experiment id scale jobs verbose no_cache pipeline verify_jobs =
+let run_experiment id scale jobs verbose no_cache pipeline verify_jobs
+    cluster_send =
   setup_logs verbose;
   set_cache no_cache;
   set_pipeline pipeline;
   set_verify_jobs verify_jobs;
+  set_cluster_send cluster_send;
   match Bp_harness.Experiments.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `blockplane-cli list`\n" id;
@@ -126,14 +144,15 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured table")
     Term.(
       const run_experiment $ id_arg $ scale_arg $ jobs_arg $ verbose_arg
-      $ no_cache_arg $ pipeline_arg $ verify_jobs_arg)
+      $ no_cache_arg $ pipeline_arg $ verify_jobs_arg $ cluster_send_arg)
 
 let all_cmd =
-  let run scale jobs verbose no_cache pipeline verify_jobs =
+  let run scale jobs verbose no_cache pipeline verify_jobs cluster_send =
     setup_logs verbose;
     set_cache no_cache;
     set_pipeline pipeline;
     set_verify_jobs verify_jobs;
+    set_cluster_send cluster_send;
     with_pool jobs (fun pool ->
         List.iter
           (fun e ->
@@ -146,7 +165,7 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every table and figure of the evaluation")
     Term.(
       const run $ scale_arg $ jobs_arg $ verbose_arg $ no_cache_arg
-      $ pipeline_arg $ verify_jobs_arg)
+      $ pipeline_arg $ verify_jobs_arg $ cluster_send_arg)
 
 let () =
   let info =

@@ -24,6 +24,7 @@ let participant t = t.participant
 let next_comm_seq t ~dest = t.next_comm_seq.(dest)
 let pipeline_depth t = t.pbft_cfg.Bp_pbft.Config.max_in_flight
 let pipeline_occupancy t = Unit_node.pipeline_occupancy t.lead_node
+let cluster_send t = Unit_node.cluster_enabled t.lead_node
 
 let quorum t = (2 * t.pbft_cfg.Bp_pbft.Config.f) + 1
 

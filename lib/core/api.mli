@@ -59,6 +59,11 @@ val pipeline_occupancy : t -> float
 (** Mean in-flight consensus slots observed at the unit's lead node —
     1.0 for stop-and-wait, up to {!pipeline_depth} when saturated. *)
 
+val cluster_send : t -> bool
+(** Whether this participant's unit runs the expected-constant
+    cluster-sending path ({!Cluster_send}) instead of fi+1-signature
+    bundles on the inter-participant hot path. *)
+
 val submit_record :
   t -> Record.t -> on_done:(unit -> unit) -> on_rejected:(unit -> unit) -> unit
 (** Low-level submission of an arbitrary record (used by tests to model

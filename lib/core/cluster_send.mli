@@ -1,0 +1,136 @@
+(** Expected-constant byzantine cluster-sending (Hellings & Sadoghi,
+    "Byzantine Cluster-Sending in Expected Constant Communication").
+
+    The fi+1-signature-bundle path ships Θ(fi) signature bytes per record
+    over the WAN and makes every destination node verify fi+1 signatures
+    — Θ(fi²) signature work per delivered record. This layer replaces it
+    on the inter-participant hot path:
+
+    - {b Pairing schedule}: each delivery attempt picks one source-unit
+      sender node and one destination-unit receiver node from a
+      deterministic pseudorandom rotation seeded by the per-source chain
+      state ({!Schedule.pair}). Both honest with probability at least
+      ((2fi+1)/(3fi+1))² ≥ 4/9, so delivery needs O(1) attempts in
+      expectation; consecutive attempts rotate through distinct nodes, so
+      at most 2fi failed pairs precede a guaranteed honest one — within
+      the 3fi+1 node budget.
+    - {b Single-signature probes}: the sender signs the head of its
+      statement chain ({!Record.chain_statement}); the chain digest binds
+      the whole record prefix, so one signature vouches for every record
+      in the probe's window.
+    - {b Receiver-side local agreement + dispersal}: the receiving node
+      verifies one signature, re-broadcasts the probe inside its unit,
+      and every node counts {e distinct source-unit signers} per chain
+      head. A record is accepted once fi+1 distinct signers — hence at
+      least one honest source node — attest a chain covering it. Honest
+      source nodes only sign their unit's committed chain, and source
+      PBFT safety means only one chain can ever gather an honest
+      signature, so equivocating signers cannot assemble fi+1 backing for
+      a fork.
+
+    The agent is strictly per-node (like {!Bp_crypto.Verify_cache}):
+    coverage observed by one node never stands in for another's. All
+    scheduling is pure arithmetic over committed chain state — no RNG —
+    so simulation runs are bit-reproducible at any [--jobs]. *)
+
+module Schedule : sig
+  val pair :
+    src:int ->
+    dest:int ->
+    head_seq:int ->
+    chain:string ->
+    attempt:int ->
+    n_senders:int ->
+    n_receivers:int ->
+    int * int
+  (** [(sender_idx, receiver_idx)] for a delivery attempt. Base offsets
+      are a pure hash of (src, dest, head_seq, chain); successive
+      [attempt]s advance the sender every step and the receiver by an
+      extra step per full sender rotation, so any window of [n_senders]
+      consecutive attempts uses pairwise distinct senders and any window
+      of [n_senders * n_receivers] attempts sweeps every pair once. *)
+end
+
+type host = {
+  participant : int;
+  n_participants : int;
+  node_idx : int;
+  fi : int;
+  identity : string;
+  addr : Bp_sim.Addr.t;
+  peers : Bp_sim.Addr.t array;  (** this unit's nodes, including self *)
+  peer_addr : int -> int -> Bp_sim.Addr.t;
+      (** [peer_addr p i] = node [i] of participant [p] (deployment
+          addressing convention) *)
+  digest : string -> string;
+  sign : string -> string;  (** sign as this node's identity *)
+  verify : signer:string -> msg:string -> signature:string -> bool;
+  send : dst:Bp_sim.Addr.t -> Proto.t -> unit;
+  last_received : int -> int;
+      (** committed in-order frontier per source participant *)
+  enqueue_recv : Record.transmission -> requester:Bp_sim.Addr.t -> unit;
+      (** hand a covered record to the node's receive path (pending set +
+          consensus pump); [requester] receives cumulative acks *)
+}
+(** Everything the agent needs from its hosting node, as closures — the
+    agent layers under {!Unit_node} without depending on it. *)
+
+type t
+
+val create : host -> t
+
+val on_committed : t -> pos:int -> Record.t -> unit
+(** Feed every record executed on the hosting node: [Comm] records extend
+    the node's own outbound chains (it may be scheduled as a sender);
+    [Recv] records extend the committed incoming chain and retire
+    coverage candidates. *)
+
+val on_probe : t -> Proto.probe -> unit
+(** A WAN probe addressed to this node: verify the chain-head signature
+    against the committed anchor, accumulate signer coverage, disperse to
+    unit peers, enqueue covered records, ack duplicates. *)
+
+val on_disperse : t -> Proto.probe -> unit
+(** Same as {!on_probe} minus the re-dispersal. *)
+
+val on_probe_request :
+  t ->
+  dest:int ->
+  base:int ->
+  head:int ->
+  payload_from:int ->
+  receiver:int ->
+  reply_to:Bp_sim.Addr.t ->
+  unit
+(** The daemon scheduled this node as sender: build the window
+    (base, min head own-frontier] from this node's own log index — record
+    payloads above [payload_from], statement digests at or below it —
+    sign the chain head, and probe destination node [receiver]. A request
+    whose head outruns this node's committed frontier is served partially
+    (whatever prefix is committed) and stashed, bounded, for replay when
+    the chain catches up; a request entirely below the frontier is
+    dropped. *)
+
+val covered : t -> Record.transmission -> bool
+(** The verifier query: do fi+1 distinct source-unit signers attest a
+    chain that contains exactly this record's statement at its sequence
+    number? *)
+
+val chain_head : t -> dest:int -> seq:int -> string option
+(** This node's own outbound chain digest at [seq] of the (self, dest)
+    stream, if committed — seeds the daemon's pairing schedule. *)
+
+type stats = {
+  probes_sent : int;
+  probes_rx : int;
+  disperses_rx : int;
+  sig_verifies : int;  (** chain-head signature verifications performed *)
+  rejected : int;  (** probes dropped: bad anchor, bad signature, junk *)
+}
+
+val stats : t -> stats
+
+val set_byzantine_equivocate : t -> bool -> unit
+(** Byzantine knob: when scheduled as a sender, this node signs a
+    corrupted chain head — the signature verifies as a byte string but
+    attests a fork no honest node shares. *)

@@ -14,12 +14,14 @@ type t = {
   n_participants : int;
   fi : int;
   fg : int;
+  cluster : bool;
   units : unit_t array;
 }
 
 let n_participants t = t.n_participants
 let fi t = t.fi
 let fg t = t.fg
+let cluster_send t = t.cluster
 let api t p = t.units.(p).api
 let node t p i = t.units.(p).nodes.(i)
 let nodes_of t p = t.units.(p).nodes
@@ -32,8 +34,12 @@ let reserves t ~src ~dest = List.assoc dest t.units.(src).reserves
 let addrs_for ~fi p = Array.init ((3 * fi) + 1) (fun i -> Addr.make ~dc:p ~idx:i)
 
 let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
-    ?batch_max ?request_timeout ?max_in_flight ?verify_cost ?verify_jobs ~app
-    () =
+    ?batch_max ?request_timeout ?max_in_flight ?verify_cost ?verify_jobs
+    ?extra_verify_units ?(cluster_send = false) ~app () =
+  (* Cluster-sending covers the plain inter-participant path; geo-proof
+     records (fg > 0) still need the signature bundles every mirror
+     checks, so the knob falls back to bundle mode there. *)
+  let cluster_send = cluster_send && fg = 0 in
   let engine = Network.engine network in
   let topology = Network.topology network in
   if n_participants > Topology.num_dcs topology then
@@ -49,14 +55,14 @@ let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
         let pbft_cfg =
           Bp_pbft.Config.make ~nodes:all_addrs.(p) ~keystore
             ~tag:(Printf.sprintf "u%d" p) ?batch_max ?request_timeout
-            ?max_in_flight ?verify_cost ?verify_jobs ()
+            ?max_in_flight ?verify_cost ?verify_jobs ?extra_verify_units ()
         in
         let nodes =
           Array.init
             ((3 * fi) + 1)
             (fun i ->
               Unit_node.create ~network ~pbft_cfg ~participant:p ~n_participants
-                ~node_idx:i ~fg ~app:(app ()))
+                ~node_idx:i ~fg ~cluster_send ~app:(app ()) ())
         in
         (* Every node serves mirror duties (fg > 0 traffic). *)
         Array.iter (fun n -> ignore (Geo.Agent.install n)) nodes;
@@ -87,7 +93,7 @@ let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
             (fun dest ->
               ( dest,
                 Comm_daemon.create ~node:nodes.(0) ~dest
-                  ~dest_nodes:all_addrs.(dest) ?geo_proofs () ))
+                  ~dest_nodes:all_addrs.(dest) ?geo_proofs ~cluster_send () ))
             others
         in
         let reserves =
@@ -107,7 +113,7 @@ let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
         { participant = p; pbft_cfg; nodes; api; geo; daemons; reserves })
       units
   in
-  { n_participants; fi; fg; units }
+  { n_participants; fi; fg; cluster = cluster_send; units }
 
 let app_digests_agree t p =
   let nodes = t.units.(p).nodes in

@@ -17,6 +17,8 @@ val create :
   ?max_in_flight:int ->
   ?verify_cost:Bp_sim.Time.t ->
   ?verify_jobs:int ->
+  ?extra_verify_units:(string -> int) ->
+  ?cluster_send:bool ->
   app:(unit -> App.instance) ->
   unit ->
   t
@@ -25,11 +27,23 @@ val create :
     (fg > 0) are each participant's other datacenters ordered by RTT.
     [verify_cost] / [verify_jobs] configure the modeled in-replica
     verification cost (see {!Bp_pbft.Config}); by default the model is
-    off and crypto is free in simulated time, as in the paper. *)
+    off and crypto is free in simulated time, as in the paper.
+    [extra_verify_units] (see {!Bp_pbft.Config.extra_verify_units})
+    prices per-request signature bundles into that model — pass
+    {!Record.proof_units} to charge fi+1-proof [Recv] records at the
+    receiving unit.
+    [cluster_send] (default off) switches the inter-participant path to
+    expected-constant cluster-sending ({!Cluster_send}); it is forced
+    off when fg > 0, where records must carry signature bundles for the
+    mirrors. *)
 
 val n_participants : t -> int
 val fi : t -> int
 val fg : t -> int
+
+val cluster_send : t -> bool
+(** Whether the deployment runs the cluster-sending path (the requested
+    knob after the fg > 0 fallback). *)
 
 val api : t -> int -> Api.t
 (** Participant [p]'s user-space handle. *)

@@ -40,7 +40,9 @@ let promote t floor =
     t.promoted_daemon <-
       Some
         (Comm_daemon.create ~node:t.node ~dest:t.dest ~dest_nodes:t.dest_nodes
-           ?geo_proofs:t.geo_proofs ~start_after:floor ());
+           ?geo_proofs:t.geo_proofs
+           ~cluster_send:(Unit_node.cluster_enabled t.node)
+           ~start_after:floor ());
     match t.probe_timer with
     | Some timer ->
         Engine.cancel timer;

@@ -13,11 +13,17 @@ val create :
   n_participants:int ->
   node_idx:int ->
   fg:int ->
+  ?cluster_send:bool ->
   app:App.instance ->
+  unit ->
   t
 (** Builds the transport, PBFT replica and client for node [node_idx] of
     the participant's unit, and installs the verification routine (the
-    built-in receive checks of §IV-C plus the app's own [verify]). *)
+    built-in receive checks of §IV-C plus the app's own [verify]).
+    [cluster_send] (default off) installs a {!Cluster_send} agent: the
+    node answers probe/dispersal traffic and accepts proofs-free
+    transmission records backed by fi+1 chain-head signers instead of the
+    fi+1-signature bundle. Only honoured when [fg = 0]. *)
 
 val addr : t -> Bp_sim.Addr.t
 val peers : t -> Bp_sim.Addr.t array
@@ -88,6 +94,23 @@ val submit_recv : t -> Record.transmission -> on_committed:(unit -> unit) -> uni
 val set_byzantine_sign_anything : t -> bool -> unit
 (** Byzantine knob: this node will attest any transmission record without
     checking its log (a malicious signer). *)
+
+val set_byzantine_drop_comm : t -> bool -> unit
+(** Byzantine knob: this node silently ignores communication-layer
+    traffic — sign requests, transmits, probes, dispersals, probe
+    requests. Its PBFT replica stays honest (withholding only). *)
+
+val cluster_agent : t -> Cluster_send.t option
+(** The node's cluster-sending agent, if [create] was given
+    [~cluster_send:true] (and [fg = 0]). *)
+
+val cluster_enabled : t -> bool
+
+val verify_effort : t -> int
+(** Transmission-proof signature verifications this node has demanded so
+    far: fi+1-bundle checks submitted by the receive verifier plus
+    chain-head checks by the cluster-sending agent. Per-node, so sums
+    across a unit are reproducible at any [--jobs]. *)
 
 val wal_image : t -> string
 (** The node's durable write-ahead log: every executed Local Log record,

@@ -78,6 +78,11 @@ let all =
       plan = (fun ~scale -> Exp_local.verify_plan ~scale);
     };
     {
+      id = "ablation-clustersend";
+      title = "Cluster-sending vs fi+1-signature bundles";
+      plan = (fun ~scale -> Exp_clustersend.plan ~scale);
+    };
+    {
       id = "locality";
       title = "Intra-DC vs wide-area traffic share (SIII-A)";
       plan = (fun ~scale -> Exp_locality.locality_plan ~scale);

@@ -30,8 +30,15 @@ let set_default_verify_jobs jobs =
     invalid_arg "Runner.set_default_verify_jobs: jobs must be positive";
   default_verify_jobs := jobs
 
+(* The --cluster-send knob, same write-once discipline. Off by default:
+   experiment tables stay byte-identical to the fi+1-bundle seed unless
+   cluster-sending is requested (--cluster-send on, or the clustersend
+   ablation's own sweep). *)
+let default_cluster_send = ref false
+let set_default_cluster_send b = default_cluster_send := b
+
 let fresh_world ?(fi = 1) ?(fg = 0) ?(seed = 4242L) ?(n_participants = 4)
-    ?batch_max ?max_in_flight ?verify_cost ?verify_jobs
+    ?batch_max ?max_in_flight ?verify_cost ?verify_jobs ?cluster_send
     ?(app = fun () -> Blockplane.App.make (module Blockplane.App.Null)) () =
   let engine = Engine.create ~seed () in
   let net = Network.create engine Topology.aws_paper () in
@@ -41,9 +48,12 @@ let fresh_world ?(fi = 1) ?(fg = 0) ?(seed = 4242L) ?(n_participants = 4)
   let verify_jobs =
     match verify_jobs with Some j -> j | None -> !default_verify_jobs
   in
+  let cluster_send =
+    match cluster_send with Some b -> b | None -> !default_cluster_send
+  in
   let dep =
     Blockplane.Deployment.create ~network:net ~n_participants ~fi ~fg ?batch_max
-      ~max_in_flight ?verify_cost ~verify_jobs ~app ()
+      ~max_in_flight ?verify_cost ~verify_jobs ~cluster_send ~app ()
   in
   { engine; net; dep }
 

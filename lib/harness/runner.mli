@@ -25,6 +25,13 @@ val set_default_verify_jobs : int -> unit
     results are identical at any value. Defaults to 1.
     @raise Invalid_argument on a non-positive count. *)
 
+val set_default_cluster_send : bool -> unit
+(** Inter-participant path for worlds that don't pick one explicitly
+    (the [--cluster-send on|off] knob): expected-constant cluster-sending
+    when on, the fi+1-signature-bundle baseline when off. Defaults to
+    off, so experiment tables are byte-identical to the bundle seed
+    unless requested. Same write-once discipline as the other knobs. *)
+
 val fresh_world :
   ?fi:int ->
   ?fg:int ->
@@ -34,6 +41,7 @@ val fresh_world :
   ?max_in_flight:int ->
   ?verify_cost:Bp_sim.Time.t ->
   ?verify_jobs:int ->
+  ?cluster_send:bool ->
   ?app:(unit -> Blockplane.App.instance) ->
   unit ->
   world

@@ -28,6 +28,14 @@ type t = {
   verify_jobs : int;
       (** modeled verification parallelism dividing [verify_cost]
           charges (default 1). Irrelevant while [verify_cost] is zero. *)
+  extra_verify_units : string -> int;
+      (** additional verification units a request op carries beyond its
+          own client signature — e.g. the fi+1-proof bundle embedded in
+          a Blockplane [Recv] record, which every replica must check
+          before voting. Summed over the batch and added to the
+          [verify_cost] charge. Default [fun _ -> 0]: batch entries cost
+          one unit each, the seed model. Irrelevant while [verify_cost]
+          is zero. *)
 }
 
 val make :
@@ -41,6 +49,7 @@ val make :
   ?max_in_flight:int ->
   ?verify_cost:Bp_sim.Time.t ->
   ?verify_jobs:int ->
+  ?extra_verify_units:(string -> int) ->
   unit ->
   t
 (** [f] is derived as [(n-1)/3]; requires [n = 3f+1 >= 4]. Registers every

@@ -49,6 +49,7 @@ type t = {
   mutable duplicated : int;
   mutable bytes_sent : int;
   traffic : int array array; (* bytes by (src dc, dst dc) *)
+  traffic_msgs : int array array; (* messages by (src dc, dst dc) *)
 }
 
 let create engine topology ?(faults = no_faults) () =
@@ -67,6 +68,9 @@ let create engine topology ?(faults = no_faults) () =
     duplicated = 0;
     bytes_sent = 0;
     traffic =
+      (let n = Topology.num_dcs topology in
+       Array.make_matrix n n 0);
+    traffic_msgs =
       (let n = Topology.num_dcs topology in
        Array.make_matrix n n 0);
   }
@@ -150,6 +154,8 @@ let send t ~src ~dst ?hint payload =
         t.bytes_sent <- t.bytes_sent + String.length payload;
         t.traffic.(src.Addr.dc).(dst.Addr.dc) <-
           t.traffic.(src.Addr.dc).(dst.Addr.dc) + String.length payload;
+        t.traffic_msgs.(src.Addr.dc).(dst.Addr.dc) <-
+          t.traffic_msgs.(src.Addr.dc).(dst.Addr.dc) + 1;
         let now = Engine.now t.engine in
         let serialization = Topology.transfer_time t.topology (String.length payload) in
         let depart = Time.add (Time.max now sender.nic_busy_until) serialization in
@@ -186,6 +192,7 @@ let send t ~src ~dst ?hint payload =
       end
 
 let traffic_matrix t = Array.map Array.copy t.traffic
+let message_matrix t = Array.map Array.copy t.traffic_msgs
 
 let counters t =
   {

@@ -87,3 +87,8 @@ val traffic_matrix : t -> int array array
     towards datacenter [j] (including packets later lost in flight, but
     not sends refused at the source). Quantifies locality: diagonal =
     intra-datacenter traffic. *)
+
+val message_matrix : t -> int array array
+(** Same accounting as {!traffic_matrix} but in messages rather than
+    bytes — the WAN-messages-per-delivered-record metric of the
+    cluster-sending ablation reads the off-diagonal cells. *)

@@ -23,8 +23,8 @@ let test_registry_complete () =
     [
       "table1"; "fig4"; "table2"; "fig5"; "fig6"; "fig7"; "fig8";
       "ablation-reads"; "ablation-batch"; "ablation-sig"; "ablation-loss";
-      "ablation-load"; "ablation-pipeline"; "ablation-verify"; "locality";
-      "costs";
+      "ablation-load"; "ablation-pipeline"; "ablation-verify";
+      "ablation-clustersend"; "locality"; "costs";
     ]
     ids;
   Alcotest.(check bool) "find works" true (Experiments.find "fig7" <> None);
