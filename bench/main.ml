@@ -12,7 +12,7 @@
      dune exec bench/main.exe                 # everything, default scale
      dune exec bench/main.exe -- fig7         # one experiment
      dune exec bench/main.exe -- micro        # only the micro-benchmarks
-     dune exec bench/main.exe -- --json out.json   # also dump bp-bench/5 JSON
+     dune exec bench/main.exe -- --json out.json   # also dump bp-bench/7 JSON
      dune exec bench/main.exe -- --jobs 4     # fan experiment tasks over 4 domains
      dune exec bench/main.exe -- -j 1         # strictly sequential (reference)
      dune exec bench/main.exe -- --json out.json --baseline base.json
@@ -21,6 +21,9 @@
      dune exec bench/main.exe -- --pipeline 4 # consensus pipeline depth
      dune exec bench/main.exe -- --verify-jobs 4   # batch-crypto fan-out
      dune exec bench/main.exe -- --cluster-send on # cluster-sending WAN path
+     dune exec bench/main.exe -- --load-rate 50000 # single saturation rate
+     dune exec bench/main.exe -- --load-trace bursty  # arrival process shape
+     dune exec bench/main.exe -- --skew 0         # uniform client skew
      BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep
 
    --jobs defaults to Domain.recommended_domain_count. Parallel runs are
@@ -76,6 +79,11 @@ let run_experiment ?pool e =
   in
   (e.Bp_harness.Experiments.id, wall, metrics, vb)
 
+let load_shape_name = function
+  | `Poisson -> "poisson"
+  | `Bursty -> "bursty"
+  | `Diurnal -> "diurnal"
+
 let run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send ids =
   let known = List.map (fun e -> e.Bp_harness.Experiments.id) Bp_harness.Experiments.all in
   (match List.filter (fun id -> not (List.mem id known)) ids with
@@ -103,6 +111,14 @@ let run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send ids =
     "cluster-send=%s (--cluster-send on|off; default WAN path for every \
      world; the clustersend ablation sweeps both regardless)\n"
     (if cluster_send then "on" else "off");
+  Printf.printf
+    "load=%s%s skew=%g (--load-trace poisson|bursty|diurnal, --load-rate N, \
+     --skew S; the saturation sweep's arrival model)\n"
+    (load_shape_name !Bp_harness.Runner.default_load_shape)
+    (match !Bp_harness.Runner.default_load_rate with
+    | Some r -> Printf.sprintf " rate=%.0f/s" r
+    | None -> "")
+    !Bp_harness.Runner.default_skew;
   Printf.printf "=====================================================\n";
   List.filter_map
     (fun e ->
@@ -314,7 +330,7 @@ let run_micro () =
   Printf.printf "%!";
   List.rev !rows
 
-(* ---------- JSON report (schema bp-bench/5) ---------- *)
+(* ---------- JSON report (schema bp-bench/7) ---------- *)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -415,12 +431,20 @@ let write_json path ~jobs ~pipeline ~verify_jobs ~cluster_send ~baseline
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"bp-bench/6\",\n";
+  p "  \"schema\": \"bp-bench/7\",\n";
   p "  \"scale\": %g,\n" scale;
   p "  \"jobs\": %d,\n" jobs;
   p "  \"pipeline\": %d,\n" pipeline;
   p "  \"verify_jobs\": %d,\n" verify_jobs;
   p "  \"cluster_send\": %b,\n" cluster_send;
+  (* The load-generation knobs behind the saturation sweep; rate is null
+     when the sweep's own rate list ran. *)
+  p "  \"load\": { \"trace\": \"%s\", \"rate\": %s, \"skew\": %g },\n"
+    (load_shape_name !Bp_harness.Runner.default_load_shape)
+    (match !Bp_harness.Runner.default_load_rate with
+    | Some r -> Printf.sprintf "%g" r
+    | None -> "null")
+    !Bp_harness.Runner.default_skew;
   p "  \"cache_enabled\": %b,\n" (Bp_crypto.Verify_cache.enabled ());
   (let c = Bp_crypto.Verify_cache.counters () in
    let nodes = Bp_crypto.Verify_cache.instances () in
@@ -547,6 +571,37 @@ let () =
             Printf.eprintf "bench: --cluster-send expects on or off, got %S\n" v;
             exit 2)
     | [ "--cluster-send" ] -> missing "--cluster-send"
+    | "--load-rate" :: n :: rest -> (
+        match float_of_string_opt n with
+        | Some r when r > 0.0 ->
+            Bp_harness.Runner.set_default_load_rate (Some r);
+            parse rest
+        | _ ->
+            Printf.eprintf "bench: --load-rate expects a positive rate, got %S\n"
+              n;
+            exit 2)
+    | [ "--load-rate" ] -> missing "--load-rate"
+    | "--load-trace" :: v :: rest -> (
+        match v with
+        | "poisson" -> Bp_harness.Runner.set_default_load_shape `Poisson; parse rest
+        | "bursty" -> Bp_harness.Runner.set_default_load_shape `Bursty; parse rest
+        | "diurnal" -> Bp_harness.Runner.set_default_load_shape `Diurnal; parse rest
+        | _ ->
+            Printf.eprintf
+              "bench: --load-trace expects poisson, bursty or diurnal, got %S\n"
+              v;
+            exit 2)
+    | [ "--load-trace" ] -> missing "--load-trace"
+    | "--skew" :: n :: rest -> (
+        match float_of_string_opt n with
+        | Some s when s >= 0.0 ->
+            Bp_harness.Runner.set_default_skew s;
+            parse rest
+        | _ ->
+            Printf.eprintf "bench: --skew expects a non-negative float, got %S\n"
+              n;
+            exit 2)
+    | [ "--skew" ] -> missing "--skew"
     | a :: rest -> a :: parse rest
     | [] -> []
   in

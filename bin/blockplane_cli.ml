@@ -80,6 +80,52 @@ let cluster_send_arg =
 
 let set_cluster_send b = Bp_harness.Runner.set_default_cluster_send b
 
+let load_rate_arg =
+  let doc =
+    "Probe a single open-loop offered rate (requests/s) instead of the \
+     saturation sweep's built-in rate list. Only Loadgen-driven \
+     experiments (ablation-saturation) consult it."
+  in
+  Arg.(value & opt (some float) None & info [ "load-rate" ] ~docv:"RATE" ~doc)
+
+let set_load_rate r =
+  (match r with
+  | Some r when r <= 0.0 ->
+      Printf.eprintf "blockplane-cli: --load-rate must be positive, got %g\n" r;
+      exit 1
+  | _ -> ());
+  Bp_harness.Runner.set_default_load_rate r
+
+let load_trace_arg =
+  let doc =
+    "Arrival-process shape for Loadgen-driven experiments: $(b,poisson) \
+     (the default), $(b,bursty) (Markov-modulated on/off phases) or \
+     $(b,diurnal) (a compressed day-curve rate trace). All shapes offer \
+     the same long-run rate."
+  in
+  Arg.(
+    value
+    & opt
+        (Arg.enum
+           [ ("poisson", `Poisson); ("bursty", `Bursty); ("diurnal", `Diurnal) ])
+        `Poisson
+    & info [ "load-trace" ] ~docv:"SHAPE" ~doc)
+
+let set_load_trace s = Bp_harness.Runner.set_default_load_shape s
+
+let skew_arg =
+  let doc =
+    "Zipf exponent over the modeled client population for Loadgen-driven \
+     experiments: 0 is uniform, 0.99 (the default) the classic YCSB skew."
+  in
+  Arg.(value & opt float 0.99 & info [ "skew" ] ~docv:"S" ~doc)
+
+let set_skew s =
+  if s < 0.0 then (
+    Printf.eprintf "blockplane-cli: --skew must be non-negative, got %g\n" s;
+    exit 1);
+  Bp_harness.Runner.set_default_skew s
+
 let jobs_arg =
   let doc =
     "Number of worker domains to fan independent simulation tasks across. \
@@ -117,12 +163,15 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_experiment id scale jobs verbose no_cache pipeline verify_jobs
-    cluster_send =
+    cluster_send load_rate load_trace skew =
   setup_logs verbose;
   set_cache no_cache;
   set_pipeline pipeline;
   set_verify_jobs verify_jobs;
   set_cluster_send cluster_send;
+  set_load_rate load_rate;
+  set_load_trace load_trace;
+  set_skew skew;
   match Bp_harness.Experiments.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `blockplane-cli list`\n" id;
@@ -144,15 +193,20 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment and print its paper-vs-measured table")
     Term.(
       const run_experiment $ id_arg $ scale_arg $ jobs_arg $ verbose_arg
-      $ no_cache_arg $ pipeline_arg $ verify_jobs_arg $ cluster_send_arg)
+      $ no_cache_arg $ pipeline_arg $ verify_jobs_arg $ cluster_send_arg
+      $ load_rate_arg $ load_trace_arg $ skew_arg)
 
 let all_cmd =
-  let run scale jobs verbose no_cache pipeline verify_jobs cluster_send =
+  let run scale jobs verbose no_cache pipeline verify_jobs cluster_send
+      load_rate load_trace skew =
     setup_logs verbose;
     set_cache no_cache;
     set_pipeline pipeline;
     set_verify_jobs verify_jobs;
     set_cluster_send cluster_send;
+    set_load_rate load_rate;
+    set_load_trace load_trace;
+    set_skew skew;
     with_pool jobs (fun pool ->
         List.iter
           (fun e ->
@@ -165,7 +219,8 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every table and figure of the evaluation")
     Term.(
       const run $ scale_arg $ jobs_arg $ verbose_arg $ no_cache_arg
-      $ pipeline_arg $ verify_jobs_arg $ cluster_send_arg)
+      $ pipeline_arg $ verify_jobs_arg $ cluster_send_arg $ load_rate_arg
+      $ load_trace_arg $ skew_arg)
 
 let () =
   let info =

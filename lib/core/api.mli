@@ -59,6 +59,14 @@ val pipeline_occupancy : t -> float
 (** Mean in-flight consensus slots observed at the unit's lead node —
     1.0 for stop-and-wait, up to {!pipeline_depth} when saturated. *)
 
+val batch_stats : t -> Bp_pbft.Replica.batch_stats
+(** Batch-formation telemetry at the unit's lead node (the view-0
+    primary): batches cut, ops proposed, window stalls, hold deferrals.
+    See {!Bp_pbft.Replica.batch_stats}. *)
+
+val queue_depth : t -> int
+(** Requests queued at the unit's lead node awaiting batch formation. *)
+
 val cluster_send : t -> bool
 (** Whether this participant's unit runs the expected-constant
     cluster-sending path ({!Cluster_send}) instead of fi+1-signature

@@ -34,8 +34,9 @@ let reserves t ~src ~dest = List.assoc dest t.units.(src).reserves
 let addrs_for ~fi p = Array.init ((3 * fi) + 1) (fun i -> Addr.make ~dc:p ~idx:i)
 
 let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
-    ?batch_max ?request_timeout ?max_in_flight ?verify_cost ?verify_jobs
-    ?extra_verify_units ?(cluster_send = false) ~app () =
+    ?batch_max ?batch_min_fill ?batch_hold ?request_timeout ?max_in_flight
+    ?verify_cost ?verify_jobs ?extra_verify_units ?(cluster_send = false) ~app
+    () =
   (* Cluster-sending covers the plain inter-participant path; geo-proof
      records (fg > 0) still need the signature bundles every mirror
      checks, so the knob falls back to bundle mode there. *)
@@ -54,8 +55,9 @@ let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
     Array.init n_participants (fun p ->
         let pbft_cfg =
           Bp_pbft.Config.make ~nodes:all_addrs.(p) ~keystore
-            ~tag:(Printf.sprintf "u%d" p) ?batch_max ?request_timeout
-            ?max_in_flight ?verify_cost ?verify_jobs ?extra_verify_units ()
+            ~tag:(Printf.sprintf "u%d" p) ?batch_max ?batch_min_fill
+            ?batch_hold ?request_timeout ?max_in_flight ?verify_cost
+            ?verify_jobs ?extra_verify_units ()
         in
         let nodes =
           Array.init

@@ -13,6 +13,8 @@ val create :
   ?fg:int ->
   ?scheme:Bp_crypto.Signer.scheme ->
   ?batch_max:int ->
+  ?batch_min_fill:int ->
+  ?batch_hold:Bp_sim.Time.t ->
   ?request_timeout:Bp_sim.Time.t ->
   ?max_in_flight:int ->
   ?verify_cost:Bp_sim.Time.t ->
@@ -23,7 +25,10 @@ val create :
   unit ->
   t
 (** [app] builds a fresh protocol instance per node (all must start
-    identical). Defaults: fi = 1, fg = 0, HMAC signatures. Mirror sets
+    identical). Defaults: fi = 1, fg = 0, HMAC signatures.
+    [batch_min_fill] / [batch_hold] configure the primary's adaptive
+    batch-cut policy (see {!Bp_pbft.Config}); the defaults reproduce the
+    seed's cut-on-any-signal behaviour. Mirror sets
     (fg > 0) are each participant's other datacenters ordered by RTT.
     [verify_cost] / [verify_jobs] configure the modeled in-replica
     verification cost (see {!Bp_pbft.Config}); by default the model is

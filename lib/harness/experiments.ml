@@ -68,6 +68,11 @@ let all =
       plan = (fun ~scale -> Exp_ablation.load_plan ~scale);
     };
     {
+      id = "ablation-saturation";
+      title = "Saturation sweep: open-loop rate x pipeline depth";
+      plan = (fun ~scale -> Exp_saturation.plan ~scale);
+    };
+    {
       id = "ablation-pipeline";
       title = "Consensus pipeline depth (windowed multi-slot PBFT)";
       plan = (fun ~scale -> Exp_local.pipeline_plan ~scale);

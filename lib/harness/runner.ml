@@ -37,8 +37,36 @@ let set_default_verify_jobs jobs =
 let default_cluster_send = ref false
 let set_default_cluster_send b = default_cluster_send := b
 
+(* The open-loop load knobs (--load-rate / --load-trace / --skew), same
+   write-once discipline. They parameterize experiments that drive
+   Loadgen (the saturation sweep): the arrival-process shape, an
+   optional single offered rate replacing the sweep's own rate list,
+   and the zipf exponent over the modeled client population. Defaults
+   reproduce the stock sweep. *)
+type load_shape = [ `Poisson | `Bursty | `Diurnal ]
+
+let default_load_shape : load_shape ref = ref `Poisson
+let set_default_load_shape s = default_load_shape := s
+
+let default_load_rate : float option ref = ref None
+
+let set_default_load_rate r =
+  (match r with
+  | Some r when r <= 0.0 || not (Float.is_finite r) ->
+      invalid_arg "Runner.set_default_load_rate: rate must be positive"
+  | _ -> ());
+  default_load_rate := r
+
+let default_skew = ref 0.99
+
+let set_default_skew s =
+  if s < 0.0 || not (Float.is_finite s) then
+    invalid_arg "Runner.set_default_skew: skew must be >= 0 and finite";
+  default_skew := s
+
 let fresh_world ?(fi = 1) ?(fg = 0) ?(seed = 4242L) ?(n_participants = 4)
-    ?batch_max ?max_in_flight ?verify_cost ?verify_jobs ?cluster_send
+    ?batch_max ?batch_min_fill ?batch_hold ?max_in_flight ?verify_cost
+    ?verify_jobs ?cluster_send
     ?(app = fun () -> Blockplane.App.make (module Blockplane.App.Null)) () =
   let engine = Engine.create ~seed () in
   let net = Network.create engine Topology.aws_paper () in
@@ -53,7 +81,8 @@ let fresh_world ?(fi = 1) ?(fg = 0) ?(seed = 4242L) ?(n_participants = 4)
   in
   let dep =
     Blockplane.Deployment.create ~network:net ~n_participants ~fi ~fg ?batch_max
-      ~max_in_flight ?verify_cost ~verify_jobs ~cluster_send ~app ()
+      ?batch_min_fill ?batch_hold ~max_in_flight ?verify_cost ~verify_jobs
+      ~cluster_send ~app ()
   in
   { engine; net; dep }
 

@@ -32,12 +32,40 @@ val set_default_cluster_send : bool -> unit
     off, so experiment tables are byte-identical to the bundle seed
     unless requested. Same write-once discipline as the other knobs. *)
 
+type load_shape = [ `Poisson | `Bursty | `Diurnal ]
+(** Arrival-process families the load knobs select between (see
+    {!Loadgen.process} for their semantics). *)
+
+val set_default_load_shape : load_shape -> unit
+(** Arrival-process shape for Loadgen-driven experiments (the
+    [--load-trace] knob). Defaults to [`Poisson] — the stock saturation
+    sweep. Same write-once discipline as the other knobs. *)
+
+val default_load_shape : load_shape ref
+
+val set_default_load_rate : float option -> unit
+(** When set (the [--load-rate] knob), Loadgen-driven experiments probe
+    this single offered rate instead of their built-in rate sweep.
+    [None] (the default) keeps the sweep.
+    @raise Invalid_argument on a non-positive or non-finite rate. *)
+
+val default_load_rate : float option ref
+
+val set_default_skew : float -> unit
+(** Zipf exponent over the modeled client population for Loadgen-driven
+    experiments (the [--skew] knob). 0 = uniform; defaults to 0.99.
+    @raise Invalid_argument on a negative or non-finite exponent. *)
+
+val default_skew : float ref
+
 val fresh_world :
   ?fi:int ->
   ?fg:int ->
   ?seed:int64 ->
   ?n_participants:int ->
   ?batch_max:int ->
+  ?batch_min_fill:int ->
+  ?batch_hold:Bp_sim.Time.t ->
   ?max_in_flight:int ->
   ?verify_cost:Bp_sim.Time.t ->
   ?verify_jobs:int ->

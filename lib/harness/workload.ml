@@ -16,15 +16,22 @@ let open_loop engine ~rng ~rate_per_sec ~count ~submit =
   let rec arrive i at =
     ignore
       (Engine.schedule_at engine at (fun () ->
+           (* Streaming arrivals: the successor is drawn and scheduled
+              from inside this event, before the request is submitted, so
+              at most one arrival per process sits in the heap at a time —
+              O(1) occupancy however large [count] — while the gap
+              sequence is drawn in arrival order, exactly the draws the
+              old pre-scheduling loop made from the same [rng]. *)
+           if i + 1 < count then begin
+             let gap = Time.of_ms (Bp_util.Rng.exponential rng ~mean:mean_gap_ms) in
+             arrive (i + 1) (Time.add at gap)
+           end;
            if !first_arrival = None then first_arrival := Some (Engine.now engine);
            let t0 = Engine.now engine in
            submit i ~on_done:(fun () ->
                incr completed;
                last_completion := Engine.now engine;
-               Bp_util.Stats.add stats (Time.to_ms (Time.diff (Engine.now engine) t0)))));
-    if i + 1 < count then
-      let gap = Time.of_ms (Bp_util.Rng.exponential rng ~mean:mean_gap_ms) in
-      arrive (i + 1) (Time.add at gap)
+               Bp_util.Stats.add stats (Time.to_ms (Time.diff (Engine.now engine) t0)))))
   in
   arrive 0 (Time.add (Engine.now engine) (Time.of_ms mean_gap_ms));
   (* Drive until everything completes; periodic deployment timers never

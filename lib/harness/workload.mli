@@ -22,4 +22,11 @@ val open_loop :
 (** Schedule [count] arrivals with exponential inter-arrival times at the
     given rate; [submit i ~on_done] fires each request and must call
     [on_done] at completion. Drives the engine until all requests
-    complete (fails after a long virtual-time guard). *)
+    complete (fails after a long virtual-time guard).
+
+    Arrivals are streamed: each arrival event schedules its successor
+    (drawing the next gap from [rng]) before submitting, so the event
+    heap holds at most one pending arrival regardless of [count] — the
+    same O(1)-per-process discipline as {!Loadgen}, and the same gap
+    sequence (hence byte-identical results) as the former eager
+    pre-scheduling loop for equal seeds. *)

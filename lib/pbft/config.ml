@@ -4,6 +4,8 @@ type t = {
   keystore : Bp_crypto.Signer.t;
   tag : string;
   batch_max : int;
+  batch_min_fill : int;
+  batch_hold : Bp_sim.Time.t;
   request_timeout : Bp_sim.Time.t;
   checkpoint_interval : int;
   watermark_window : int;
@@ -14,6 +16,7 @@ type t = {
 }
 
 let make ~nodes ~keystore ?(tag = "pbft") ?(batch_max = 64)
+    ?(batch_min_fill = 1) ?(batch_hold = Bp_sim.Time.zero)
     ?(request_timeout = Bp_sim.Time.of_ms 500.0) ?(checkpoint_interval = 32)
     ?(watermark_window = 128) ?(max_in_flight = 8)
     ?(verify_cost = Bp_sim.Time.zero) ?(verify_jobs = 1)
@@ -23,6 +26,17 @@ let make ~nodes ~keystore ?(tag = "pbft") ?(batch_max = 64)
     invalid_arg "Pbft.Config.make: need n = 3f+1 >= 4 nodes";
   if batch_max <= 0 then
     invalid_arg "Pbft.Config.make: batch_max must be positive";
+  if batch_min_fill <= 0 || batch_min_fill > batch_max then
+    (* A min fill above batch_max could never be satisfied: the hold
+       timer would fire on every batch, degrading every cut to the
+       timeout path. Zero or negative would disable batching entirely. *)
+    invalid_arg "Pbft.Config.make: batch_min_fill must be in [1, batch_max]";
+  if Bp_sim.Time.(batch_hold < Bp_sim.Time.zero) then
+    invalid_arg "Pbft.Config.make: batch_hold must be non-negative";
+  if batch_min_fill > 1 && Bp_sim.Time.(batch_hold <= Bp_sim.Time.zero) then
+    (* min-fill without a hold bound would wedge the tail: the last
+       requests of a workload may never reach the fill threshold. *)
+    invalid_arg "Pbft.Config.make: batch_min_fill > 1 requires batch_hold > 0";
   if checkpoint_interval <= 0 then
     (* A zero interval would silently disable checkpointing — and with it
        watermark advancement and garbage collection. *)
@@ -46,6 +60,8 @@ let make ~nodes ~keystore ?(tag = "pbft") ?(batch_max = 64)
       keystore;
       tag;
       batch_max;
+      batch_min_fill;
+      batch_hold;
       request_timeout;
       checkpoint_interval;
       watermark_window;

@@ -7,6 +7,19 @@ type t = {
   keystore : Bp_crypto.Signer.t;
   tag : string;  (** transport tag — isolates clusters sharing a network *)
   batch_max : int;  (** max requests folded into one pre-prepare *)
+  batch_min_fill : int;
+      (** adaptive batch-cut policy: the primary only cuts a batch once
+          this many requests are queued (or the hold timer below
+          expires). 1 (the default) is the seed's cut-on-any-signal
+          policy — a batch forms whenever a pipeline slot frees and any
+          request waits, which at deep pipelines degrades into streams
+          of tiny batches under open-loop load. *)
+  batch_hold : Bp_sim.Time.t;
+      (** upper bound on how long a queued request may wait for
+          [batch_min_fill] company before the primary cuts the batch
+          anyway. [Time.zero] (the default, required when
+          [batch_min_fill = 1]) disables the timer: cuts are driven
+          purely by fill and slot availability. *)
   request_timeout : Bp_sim.Time.t;  (** view-change trigger *)
   checkpoint_interval : int;  (** stable-checkpoint cadence, in sequences *)
   watermark_window : int;  (** high watermark = low + window *)
@@ -43,6 +56,8 @@ val make :
   keystore:Bp_crypto.Signer.t ->
   ?tag:string ->
   ?batch_max:int ->
+  ?batch_min_fill:int ->
+  ?batch_hold:Bp_sim.Time.t ->
   ?request_timeout:Bp_sim.Time.t ->
   ?checkpoint_interval:int ->
   ?watermark_window:int ->
@@ -60,7 +75,10 @@ val make :
 
     @raise Invalid_argument if [n] is not of the form [3f+1 >= 4], if any
     of [batch_max], [checkpoint_interval], [watermark_window] or
-    [max_in_flight] is non-positive, or if
+    [max_in_flight] is non-positive, if [batch_min_fill] falls outside
+    [1, batch_max], if [batch_hold] is negative, if
+    [batch_min_fill > 1] without a positive [batch_hold] (the tail of a
+    workload could then never form a batch), or if
     [checkpoint_interval > watermark_window] (the window could then never
     contain a stable checkpoint and the protocol would wedge once it
     fills). [max_in_flight] larger than [watermark_window] is clamped to

@@ -61,7 +61,23 @@ type t = {
   mutable chain : string; (* hash chain over executed batches *)
   (* primary batching *)
   queue : Msg.request Queue.t;
-  mutable queued_keys : (string * int) list; (* dedup of queued requests *)
+  queued_keys : (string, unit) Hashtbl.t;
+      (* dedup of queued requests, keyed [timer_key (request_key r)].
+         O(1) membership/removal: under open-loop saturation the queue
+         holds tens of thousands of requests, and the list this replaced
+         made every enqueue/dequeue a linear scan. *)
+  (* adaptive batch-cut policy (Config.batch_min_fill / batch_hold) *)
+  mutable hold_timer : Engine.timer option;
+      (* armed when a cut is deferred below the fill threshold *)
+  mutable cut_forced : bool;
+      (* the hold timer expired: the next cut ignores the fill threshold *)
+  (* batch-formation telemetry for the saturation harness *)
+  mutable batches_cut : int;
+  mutable ops_proposed : int; (* total requests across all cut batches *)
+  mutable window_stalls : int;
+      (* cut attempts blocked by the watermark window (pipeline free,
+         requests waiting, next_seq beyond the high watermark) *)
+  mutable hold_deferrals : int; (* cuts deferred below batch_min_fill *)
   (* Windowed pipeline: number of slots currently in the
      pre-prepare/prepare/commit phases (digest assigned, not yet
      committed). The primary proposes while this stays below
@@ -114,6 +130,22 @@ let pipeline_occupancy t =
 let occupancy_samples t = t.occ_samples
 let open_slot_count t = Int_map.cardinal t.slots
 let archive_size t = Hashtbl.length t.archive
+let queue_depth t = Queue.length t.queue
+
+type batch_stats = {
+  batches_cut : int;
+  ops_proposed : int;
+  window_stalls : int;
+  hold_deferrals : int;
+}
+
+let batch_stats (t : t) =
+  {
+    batches_cut = t.batches_cut;
+    ops_proposed = t.ops_proposed;
+    window_stalls = t.window_stalls;
+    hold_deferrals = t.hold_deferrals;
+  }
 
 (* Modeled verification cost. The simulator charges zero simulated time
    for crypto (the only time model is the NIC and the links), which is
@@ -168,7 +200,6 @@ let self_addr t = t.cfg.Config.nodes.(t.id)
 
 let client_key (a : Addr.t) = Addr.to_string a
 let request_key (r : Msg.request) = (client_key r.Msg.client, r.Msg.ts)
-let key_equal (ck_a, ts_a) (ck_b, ts_b) = String.equal ck_a ck_b && ts_a = ts_b
 let timer_key (ck, ts) = Printf.sprintf "%s#%d" ck ts
 
 let request_equal (a : Msg.request) (b : Msg.request) =
@@ -606,6 +637,7 @@ and check_committed t s =
 
 and try_execute t =
   let executed_any = ref false in
+  let deferred_checkpoints = ref [] in
   let rec go () =
     match Int_map.find_opt (t.last_exec + 1) t.slots with
     | Some s when s.committed && not s.executed ->
@@ -639,7 +671,18 @@ and try_execute t =
         t.on_executed ~seq:s.seq s.batch;
         if s.seq mod t.cfg.Config.checkpoint_interval = 0 then begin
           t.own_checkpoints <- Int_map.add s.seq t.chain t.own_checkpoints;
-          broadcast t (Msg.Checkpoint { seq = s.seq; state_digest = t.chain; replica = t.id })
+          (* Pipelined mode overlaps checkpoint production with pipeline
+             progress: the digest is recorded here (it is this point of
+             the chain), but the broadcast is deferred until the whole
+             execution drain finishes, so the replies and commit votes of
+             the slots behind this one are not NIC-queued behind
+             checkpoint traffic. Depth 1 keeps the seed's inline
+             broadcast, byte-for-byte. *)
+          if t.cfg.Config.max_in_flight > 1 then
+            deferred_checkpoints := (s.seq, t.chain) :: !deferred_checkpoints
+          else
+            broadcast t
+              (Msg.Checkpoint { seq = s.seq; state_digest = t.chain; replica = t.id })
         end;
         go ()
     | _ -> ()
@@ -658,45 +701,107 @@ and try_execute t =
           check_prepared t s;
           check_committed t s
         end)
-      t.slots
+      t.slots;
+  (* Flush deferred checkpoint broadcasts (pipelined mode only, see
+     above): protocol-critical traffic — replies, commit votes, the
+     re-judged slots' votes — has already been queued ahead of them. *)
+  List.iter
+    (fun (seq, digest) ->
+      broadcast t (Msg.Checkpoint { seq; state_digest = digest; replica = t.id }))
+    (List.rev !deferred_checkpoints)
+
+and arm_hold_timer t =
+  (* One timer at a time; re-armed only after it fires. The fire-time
+     guards re-check primaryship — a view change in between deposes us
+     and the new primary runs its own policy. *)
+  match t.hold_timer with
+  | Some _ -> ()
+  | None ->
+      t.hold_timer <-
+        Some
+          (Engine.schedule t.engine ~after:t.cfg.Config.batch_hold (fun () ->
+               t.hold_timer <- None;
+               if
+                 (not t.stopped) && is_primary t && is_normal t
+                 && not (Queue.is_empty t.queue)
+               then begin
+                 t.cut_forced <- true;
+                 try_form_batch t
+               end))
 
 and try_form_batch t =
   (* Windowed pipelining: keep cutting batches while the pipeline has a
      free slot, requests are waiting, and the next sequence fits under
      the high watermark. Each iteration either consumes queued requests
      or opens a slot, so the loop terminates. At [max_in_flight = 1]
-     this is exactly the classic stop-and-wait primary. *)
+     this is exactly the classic stop-and-wait primary.
+
+     Batch-cut policy: with the default [batch_min_fill = 1] any waiting
+     request is cut immediately (the seed policy). A higher threshold
+     holds the cut until enough requests pool — bounded by the
+     [batch_hold] timer, whose expiry forces the next cut regardless of
+     fill. This is the knob that stops a deep pipeline from shredding an
+     open-loop workload into degenerate 1-op batches: every commit frees
+     a slot, and without the threshold each free slot immediately
+     consumes whatever trickle is queued. *)
+  let deferred = ref false in
   while
-    is_primary t && is_normal t
+    (not !deferred) && is_primary t && is_normal t
     && t.pipeline < t.cfg.Config.max_in_flight
     && (not (Queue.is_empty t.queue))
     && t.next_seq <= t.low_watermark + t.cfg.Config.watermark_window
   do
-    let batch = ref [] in
-    while (not (Queue.is_empty t.queue)) && List.length !batch < t.cfg.Config.batch_max do
-      let r = Queue.pop t.queue in
-      let rk = request_key r in
-      t.queued_keys <- List.filter (fun k -> not (key_equal k rk)) t.queued_keys;
-      (* Pre-screen with the verification routine; invalid requests are
-         dropped here (an honest primary never proposes them). *)
-      if t.verifier ~kind:r.Msg.kind ~op:r.Msg.op then batch := r :: !batch
-    done;
-    let batch = List.rev !batch in
-    if not (List.is_empty batch) then begin
-      let seq = t.next_seq in
-      t.next_seq <- seq + 1;
-      let digest = digest_of_batch t batch in
-      let s = slot_of t seq in
-      s.sview <- t.view;
-      s.digest <- Some digest;
-      s.batch <- batch;
-      pipeline_enter t s;
-      broadcast t (Msg.Pre_prepare { view = t.view; seq; digest; batch })
-      (* The primary's pre-prepare stands in for its prepare: backups
-         count it via the digest; the primary collects 2f backup prepares
-         like everyone else. *)
+    if Queue.length t.queue < t.cfg.Config.batch_min_fill && not t.cut_forced
+    then begin
+      t.hold_deferrals <- t.hold_deferrals + 1;
+      arm_hold_timer t;
+      deferred := true
     end
-  done
+    else begin
+      t.cut_forced <- false;
+      let batch = ref [] in
+      let blen = ref 0 in
+      (* Batch length tracked alongside the list: [List.length !batch] in
+         the loop guard made each cut O(batch^2). *)
+      while (not (Queue.is_empty t.queue)) && !blen < t.cfg.Config.batch_max do
+        let r = Queue.pop t.queue in
+        Hashtbl.remove t.queued_keys (timer_key (request_key r));
+        (* Pre-screen with the verification routine; invalid requests are
+           dropped here (an honest primary never proposes them). *)
+        if t.verifier ~kind:r.Msg.kind ~op:r.Msg.op then begin
+          batch := r :: !batch;
+          incr blen
+        end
+      done;
+      let batch = List.rev !batch in
+      if not (List.is_empty batch) then begin
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        let digest = digest_of_batch t batch in
+        let s = slot_of t seq in
+        s.sview <- t.view;
+        s.digest <- Some digest;
+        s.batch <- batch;
+        t.batches_cut <- t.batches_cut + 1;
+        t.ops_proposed <- t.ops_proposed + !blen;
+        pipeline_enter t s;
+        broadcast t (Msg.Pre_prepare { view = t.view; seq; digest; batch })
+        (* The primary's pre-prepare stands in for its prepare: backups
+           count it via the digest; the primary collects 2f backup prepares
+           like everyone else. *)
+      end
+    end
+  done;
+  (* Window-stall telemetry: a free pipeline slot and waiting requests,
+     but the next sequence would overrun the high watermark — progress
+     now depends on the next stable checkpoint. The saturation harness
+     reads this to attribute throughput plateaus. *)
+  if
+    is_primary t && is_normal t
+    && t.pipeline < t.cfg.Config.max_in_flight
+    && (not (Queue.is_empty t.queue))
+    && t.next_seq > t.low_watermark + t.cfg.Config.watermark_window
+  then t.window_stalls <- t.window_stalls + 1
 
 and arm_request_timer t (r : Msg.request) =
   let key = request_key r in
@@ -741,9 +846,10 @@ and handle_request t ~envelope (r : Msg.request) =
           (Msg.seal ?cache:t.cache t.cfg ~sender:(self_addr t) body)
     | _ ->
         if is_primary t && is_normal t then begin
-          if not (List.exists (key_equal (request_key r)) t.queued_keys) then begin
+          let qk = timer_key (request_key r) in
+          if not (Hashtbl.mem t.queued_keys qk) then begin
             Queue.push r t.queue;
-            t.queued_keys <- request_key r :: t.queued_keys;
+            Hashtbl.replace t.queued_keys qk ();
             arm_request_timer t r;
             try_form_batch t
           end
@@ -1031,7 +1137,13 @@ let create ?cache transport cfg ~id ~execute () =
       last_exec = 0;
       chain = Bp_crypto.Sha256.digest "pbft-genesis";
       queue = Queue.create ();
-      queued_keys = [];
+      queued_keys = Hashtbl.create 64;
+      hold_timer = None;
+      cut_forced = false;
+      batches_cut = 0;
+      ops_proposed = 0;
+      window_stalls = 0;
+      hold_deferrals = 0;
       pipeline = 0;
       occ_sum = 0;
       occ_samples = 0;
@@ -1063,4 +1175,6 @@ let stop t =
   Hashtbl.reset t.timers;
   (match t.vc_timer with Some timer -> Engine.cancel timer | None -> ());
   t.vc_timer <- None;
+  (match t.hold_timer with Some timer -> Engine.cancel timer | None -> ());
+  t.hold_timer <- None;
   Bp_net.Transport.clear_handler t.transport ~tag:t.cfg.Config.tag

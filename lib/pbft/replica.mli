@@ -81,6 +81,28 @@ val open_slot_count : t -> int
 val archive_size : t -> int
 (** Executed batches retained for state transfer (bounded GC horizon). *)
 
+val queue_depth : t -> int
+(** Requests queued at this replica awaiting batch formation (only ever
+    non-zero on a primary). *)
+
+type batch_stats = {
+  batches_cut : int;  (** pre-prepares this primary proposed *)
+  ops_proposed : int;
+      (** total requests across those batches; [ops_proposed /
+          batches_cut] is the mean batch fill — the quantity the
+          adaptive-cut policy knobs exist to defend under load *)
+  window_stalls : int;
+      (** cut attempts that found a free pipeline slot and waiting
+          requests but were blocked by the watermark window (progress
+          gated on the next stable checkpoint) *)
+  hold_deferrals : int;
+      (** cuts deferred because the queue was below
+          [Config.batch_min_fill] (the hold timer bounds the wait) *)
+}
+
+val batch_stats : t -> batch_stats
+(** Batch-formation telemetry since creation; all zero on backups. *)
+
 val set_verifier : t -> (kind:int -> op:string -> bool) -> unit
 (** Install the Blockplane verification routine (default: accept all). *)
 

@@ -23,7 +23,8 @@ let test_registry_complete () =
     [
       "table1"; "fig4"; "table2"; "fig5"; "fig6"; "fig7"; "fig8";
       "ablation-reads"; "ablation-batch"; "ablation-sig"; "ablation-loss";
-      "ablation-load"; "ablation-pipeline"; "ablation-verify";
+      "ablation-load"; "ablation-saturation"; "ablation-pipeline";
+      "ablation-verify";
       "ablation-clustersend"; "locality"; "costs";
     ]
     ids;
@@ -261,6 +262,92 @@ let test_fig4_depth1_matches_seed () =
   Alcotest.(check string) "depth-1 fig4 bytes = pre-pipeline seed"
     fig4_depth1_golden rendered
 
+(* The ablation-load table was recorded while open_loop pre-scheduled
+   every arrival eagerly; the streaming scheduler draws the same gap
+   sequence from the same rng split, so these bytes must not move. A
+   diff here means the streaming conversion perturbed arrival times or
+   draw order — a bug, not a table to re-pin. *)
+let ablation_load_golden =
+  "== ablation-load: Open-loop offered load vs local-commit latency ==\n\
+   \   (extension: the queueing knee of group commit (SVI-C), Poisson \
+   arrivals, 1 KB ops)\n\
+   +---------+----------+---------+--------+\n\
+   | offered | achieved | mean ms | p99 ms |\n\
+   +=========+==========+=========+========+\n\
+   | 1000/s  | 1046/s   | 1.3     | 1.3    |\n\
+   | 5000/s  | 4946/s   | 1.3     | 1.3    |\n\
+   | 20000/s | 17149/s  | 1.4     | 1.7    |\n\
+   | 40000/s | 25708/s  | 1.4     | 1.7    |\n\
+   | 80000/s | 34571/s  | 1.7     | 2.0    |\n\
+   +---------+----------+---------+--------+\n\
+   \   note: group commit absorbs load almost flat until the unit \
+   saturates, then queueing delay takes over\n"
+
+let test_ablation_load_matches_eager_seed () =
+  let rendered =
+    String.concat ""
+      (List.map Report.render (Exp_ablation.load ~scale:0.25 ()))
+  in
+  Alcotest.(check string) "streaming open_loop bytes = eager seed"
+    ablation_load_golden rendered
+
+let test_saturation_shape () =
+  let reports = Exp_saturation.saturation ~scale:0.1 () in
+  let r = find_report "ablation-saturation" reports in
+  (* 5 series (d1 d2 d4 d8 d8mf16) x 5 rates. *)
+  Alcotest.(check int) "25 rows" 25 (List.length r.Report.rows);
+  let metric name =
+    match List.assoc_opt name r.Report.metrics with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  (* The generator never holds more than one pending arrival per
+     process — the O(1)-heap contract of the streaming scheduler. *)
+  Alcotest.(check (float 0.0)) "O(1) arrival heap occupancy" 1.0
+    (metric "peak_arrivals_pending");
+  List.iter
+    (fun series ->
+      Alcotest.(check bool)
+        (series ^ " knee positive")
+        true
+        (metric (series ^ "_saturation_knee_rps") > 0.0))
+    [ "d1"; "d2"; "d4"; "d8"; "d8mf16" ];
+  (* Deeper pipelines must not lose to shallow ones at the top rate, and
+     the min-fill/hold cut policy must repair depth 8's degenerate tiny
+     batches (the regression this experiment exists to catch). *)
+  let top s = metric (s ^ "_top_achieved_rps") in
+  Alcotest.(check bool) "d8 >= d2 at top rate" true
+    (top "d8" >= 0.95 *. top "d2");
+  Alcotest.(check bool) "d8 >= d1 at top rate" true (top "d8" >= top "d1");
+  Alcotest.(check bool) "min-fill policy repairs depth 8" true
+    (top "d8mf16" >= 0.95 *. top "d8");
+  (* Default policy at depth 8 degrades into small batches under
+     open-loop load; the adaptive policy holds fill up. *)
+  Alcotest.(check bool) "default d8 fill degenerates vs d1" true
+    (metric "d8_top_mean_fill" < metric "d1_top_mean_fill")
+
+(* --load-rate collapses the sweep to one probed rate per series;
+   --load-trace / --skew reshape the arrival process. All three are
+   write-once knobs, restored here so later tests see the defaults. *)
+let test_saturation_load_knobs () =
+  let restore () =
+    Runner.set_default_load_rate None;
+    Runner.set_default_load_shape `Poisson;
+    Runner.set_default_skew 0.99
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Runner.set_default_load_rate (Some 20_000.0);
+      Runner.set_default_load_shape `Bursty;
+      Runner.set_default_skew 0.0;
+      let r =
+        find_report "ablation-saturation" (Exp_saturation.saturation ~scale:0.05 ())
+      in
+      Alcotest.(check int) "one rate x 5 series" 5 (List.length r.Report.rows);
+      List.iter
+        (fun row ->
+          Alcotest.(check string) "probed rate" "20000/s" (List.nth row 1))
+        r.Report.rows)
+
 let test_pipeline_ablation_shape () =
   let r = find_report "pipeline" (Exp_local.pipeline ~scale:0.3 ()) in
   Alcotest.(check (list string)) "one row per depth" [ "1"; "2"; "4"; "8" ]
@@ -303,6 +390,9 @@ let suite =
         tc "locality shape" test_locality_shape;
         tc "costs sanity" test_costs_sanity;
         tc "workload open loop" test_workload_open_loop;
+        tc "ablation-load bytes = eager seed" test_ablation_load_matches_eager_seed;
+        tc "saturation sweep shape" test_saturation_shape;
+        tc "saturation load knobs" test_saturation_load_knobs;
         tc "runner helpers" test_runner_helpers;
         tc "experiments deterministic" test_experiments_deterministic;
         tc "experiments identical without cache"

@@ -390,6 +390,21 @@ let test_config_validation () =
   expect_invalid "checkpoint beyond window" (fun () ->
       Config.make ~nodes:nodes4 ~keystore ~checkpoint_interval:64
         ~watermark_window:32 ());
+  expect_invalid "batch_min_fill=0" (fun () ->
+      Config.make ~nodes:nodes4 ~keystore ~batch_min_fill:0 ());
+  expect_invalid "batch_min_fill beyond batch_max" (fun () ->
+      Config.make ~nodes:nodes4 ~keystore ~batch_max:8 ~batch_min_fill:9 ());
+  (* Deferring cuts without a hold bound could stall a trickle forever. *)
+  expect_invalid "min_fill>1 without hold timer" (fun () ->
+      Config.make ~nodes:nodes4 ~keystore ~batch_min_fill:2 ());
+  expect_invalid "negative batch_hold" (fun () ->
+      Config.make ~nodes:nodes4 ~keystore ~batch_min_fill:2
+        ~batch_hold:(Time.of_ms (-1.0)) ());
+  let held =
+    Config.make ~nodes:nodes4 ~keystore ~batch_min_fill:16
+      ~batch_hold:(Time.of_ms 0.25) ()
+  in
+  Alcotest.(check int) "min fill accepted" 16 held.Config.batch_min_fill;
   (* A pipeline deeper than the window is clamped, not rejected: the
      window is the hard bound on concurrently-open slots. *)
   let clamped =
