@@ -12,7 +12,7 @@
      dune exec bench/main.exe                 # everything, default scale
      dune exec bench/main.exe -- fig7         # one experiment
      dune exec bench/main.exe -- micro        # only the micro-benchmarks
-     dune exec bench/main.exe -- --json out.json   # also dump bp-bench/7 JSON
+     dune exec bench/main.exe -- --json out.json   # also dump bp-bench/8 JSON
      dune exec bench/main.exe -- --jobs 4     # fan experiment tasks over 4 domains
      dune exec bench/main.exe -- -j 1         # strictly sequential (reference)
      dune exec bench/main.exe -- --json out.json --baseline base.json
@@ -24,6 +24,9 @@
      dune exec bench/main.exe -- --load-rate 50000 # single saturation rate
      dune exec bench/main.exe -- --load-trace bursty  # arrival process shape
      dune exec bench/main.exe -- --skew 0         # uniform client skew
+     dune exec bench/main.exe -- --shards 4       # keyspace shards per world
+     dune exec bench/main.exe -- --batch-min-fill 16 --batch-hold 0.25
+                                              # adaptive batch-cut policy
      BP_BENCH_SCALE=0.2 dune exec bench/main.exe   # quicker sweep
 
    --jobs defaults to Domain.recommended_domain_count. Parallel runs are
@@ -84,7 +87,8 @@ let load_shape_name = function
   | `Bursty -> "bursty"
   | `Diurnal -> "diurnal"
 
-let run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send ids =
+let run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send ~shards
+    ids =
   let known = List.map (fun e -> e.Bp_harness.Experiments.id) Bp_harness.Experiments.all in
   (match List.filter (fun id -> not (List.mem id known)) ids with
   | [] -> ()
@@ -119,6 +123,20 @@ let run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send ids =
     | Some r -> Printf.sprintf " rate=%.0f/s" r
     | None -> "")
     !Bp_harness.Runner.default_skew;
+  Printf.printf
+    "shards=%d (--shards N; keyspace shards for worlds without their own \
+     map, clamped to each world's participants; the shard ablation sweeps \
+     1..16 regardless)\n"
+    shards;
+  Printf.printf
+    "batch-cut=%s/%s (--batch-min-fill N, --batch-hold MS; default policy \
+     for worlds without their own; seed = cut on any signal)\n"
+    (match !Bp_harness.Runner.default_batch_min_fill with
+    | Some m -> string_of_int m
+    | None -> "-")
+    (match !Bp_harness.Runner.default_batch_hold with
+    | Some h -> Printf.sprintf "%gms" (Bp_sim.Time.to_ms h)
+    | None -> "-");
   Printf.printf "=====================================================\n";
   List.filter_map
     (fun e ->
@@ -330,7 +348,7 @@ let run_micro () =
   Printf.printf "%!";
   List.rev !rows
 
-(* ---------- JSON report (schema bp-bench/7) ---------- *)
+(* ---------- JSON report (schema bp-bench/8) ---------- *)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -426,17 +444,27 @@ let sum_vb_stats stats_list : Bp_crypto.Verify_batch.stats =
     }
     stats_list
 
-let write_json path ~jobs ~pipeline ~verify_jobs ~cluster_send ~baseline
-    ~experiments ~micro =
+let write_json path ~jobs ~pipeline ~verify_jobs ~cluster_send ~shards
+    ~baseline ~experiments ~micro =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"bp-bench/7\",\n";
+  p "  \"schema\": \"bp-bench/8\",\n";
   p "  \"scale\": %g,\n" scale;
   p "  \"jobs\": %d,\n" jobs;
   p "  \"pipeline\": %d,\n" pipeline;
   p "  \"verify_jobs\": %d,\n" verify_jobs;
   p "  \"cluster_send\": %b,\n" cluster_send;
+  (* bp-bench/8: the sharding knob and the batch-cut policy defaults
+     (null = the seed's cut-on-any-signal behaviour). *)
+  p "  \"shards\": %d,\n" shards;
+  p "  \"batch\": { \"min_fill\": %s, \"hold_ms\": %s },\n"
+    (match !Bp_harness.Runner.default_batch_min_fill with
+    | Some m -> string_of_int m
+    | None -> "null")
+    (match !Bp_harness.Runner.default_batch_hold with
+    | Some h -> Printf.sprintf "%g" (Bp_sim.Time.to_ms h)
+    | None -> "null");
   (* The load-generation knobs behind the saturation sweep; rate is null
      when the sweep's own rate list ran. *)
   p "  \"load\": { \"trace\": \"%s\", \"rate\": %s, \"skew\": %g },\n"
@@ -518,6 +546,9 @@ let () =
   let pipeline = ref 1 in
   let verify_jobs = ref 1 in
   let cluster_send = ref false in
+  let shards = ref 1 in
+  let batch_min_fill = ref None in
+  let batch_hold_ms = ref None in
   let missing flag =
     Printf.eprintf "bench: %s requires an argument\n" flag;
     exit 2
@@ -602,6 +633,38 @@ let () =
               n;
             exit 2)
     | [ "--skew" ] -> missing "--skew"
+    | "--shards" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some s when s >= 1 ->
+            shards := s;
+            parse rest
+        | _ ->
+            Printf.eprintf "bench: --shards expects a positive integer, got %S\n"
+              n;
+            exit 2)
+    | [ "--shards" ] -> missing "--shards"
+    | "--batch-min-fill" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some m when m >= 1 ->
+            batch_min_fill := Some m;
+            parse rest
+        | _ ->
+            Printf.eprintf
+              "bench: --batch-min-fill expects a positive integer, got %S\n" n;
+            exit 2)
+    | [ "--batch-min-fill" ] -> missing "--batch-min-fill"
+    | "--batch-hold" :: ms :: rest -> (
+        match float_of_string_opt ms with
+        | Some h when h >= 0.0 ->
+            batch_hold_ms := Some h;
+            parse rest
+        | _ ->
+            Printf.eprintf
+              "bench: --batch-hold expects a non-negative duration in ms, got \
+               %S\n"
+              ms;
+            exit 2)
+    | [ "--batch-hold" ] -> missing "--batch-hold"
     | a :: rest -> a :: parse rest
     | [] -> []
   in
@@ -612,8 +675,25 @@ let () =
   let pipeline = !pipeline in
   let verify_jobs = !verify_jobs in
   let cluster_send = !cluster_send in
+  let shards = !shards in
+  (* Same pair rule Config.make enforces on every world: a min-fill
+     above 1 without a hold timer would stall batches that never reach
+     the fill target. Catch it here with a flag-level message instead of
+     an Invalid_argument from deep inside the first experiment. *)
+  (match (!batch_min_fill, !batch_hold_ms) with
+  | Some m, (None | Some 0.0) when m > 1 ->
+      Printf.eprintf
+        "bench: --batch-min-fill %d needs --batch-hold MS with MS > 0 (a \
+         batch below the fill target must have a timer to cut it)\n"
+        m;
+      exit 2
+  | _ -> ());
   Bp_harness.Runner.set_default_pipeline pipeline;
   Bp_harness.Runner.set_default_cluster_send cluster_send;
+  Bp_harness.Runner.set_default_shards shards;
+  Bp_harness.Runner.set_default_batch_min_fill !batch_min_fill;
+  Bp_harness.Runner.set_default_batch_hold
+    (Option.map Bp_sim.Time.of_ms !batch_hold_ms);
   (* --verify-jobs drives both mechanisms: the modeled in-replica
      parallelism (worlds with verify_cost enabled) and the real
      domain-pool fan-out behind the receive paths. *)
@@ -631,11 +711,14 @@ let () =
     | [ "micro" ] -> ([], run_micro ())
     | [] ->
         let experiments =
-          run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send []
+          run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send
+            ~shards []
         in
         (experiments, run_micro ())
     | ids ->
-        (run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send ids, [])
+        ( run_paper_benches ?pool ~jobs ~pipeline ~verify_jobs ~cluster_send
+            ~shards ids,
+          [] )
   in
   match !json_path with
   | None -> ()
@@ -644,8 +727,8 @@ let () =
         match !baseline_path with None -> [] | Some p -> read_baseline p
       in
       try
-        write_json path ~jobs ~pipeline ~verify_jobs ~cluster_send ~baseline
-          ~experiments ~micro;
+        write_json path ~jobs ~pipeline ~verify_jobs ~cluster_send ~shards
+          ~baseline ~experiments ~micro;
         if path <> "/dev/null" then Printf.printf "\nwrote %s\n%!" path
       with Sys_error msg ->
         Printf.eprintf "bench: cannot write JSON report: %s\n" msg;

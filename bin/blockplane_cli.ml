@@ -126,6 +126,64 @@ let set_skew s =
     exit 1);
   Bp_harness.Runner.set_default_skew s
 
+let shards_arg =
+  let doc =
+    "Keyspace shards for worlds that do not build their own shard map: \
+     each shard is an independent Blockplane unit owning a slice of the \
+     keyspace, with cross-shard transactions committed through the BFT \
+     two-phase protocol. 1 (the default) reproduces the unsharded tables \
+     byte-for-byte; the value is clamped to each world's participant \
+     count. The ablation-shard experiment sweeps 1..16 regardless."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let set_shards n =
+  if n < 1 then (
+    Printf.eprintf "blockplane-cli: --shards must be at least 1, got %d\n" n;
+    exit 1);
+  Bp_harness.Runner.set_default_shards n
+
+let batch_min_fill_arg =
+  let doc =
+    "Adaptive batch-cut fill target: a primary holds a non-empty batch \
+     open until it has at least this many requests (or the $(b,--batch-hold) \
+     timer fires). 1 (the seed behaviour) cuts on any signal. Values \
+     above 1 require a positive $(b,--batch-hold)."
+  in
+  Arg.(value & opt (some int) None & info [ "batch-min-fill" ] ~docv:"N" ~doc)
+
+let batch_hold_arg =
+  let doc =
+    "Adaptive batch-cut hold timer in milliseconds: the longest a \
+     non-empty batch below the fill target waits before being cut anyway. \
+     Bounds the latency cost of $(b,--batch-min-fill)."
+  in
+  Arg.(value & opt (some float) None & info [ "batch-hold" ] ~docv:"MS" ~doc)
+
+let set_batch min_fill hold_ms =
+  (match min_fill with
+  | Some m when m < 1 ->
+      Printf.eprintf "blockplane-cli: --batch-min-fill must be at least 1, got %d\n" m;
+      exit 1
+  | _ -> ());
+  (match hold_ms with
+  | Some h when h < 0.0 ->
+      Printf.eprintf "blockplane-cli: --batch-hold must be non-negative, got %g\n" h;
+      exit 1
+  | _ -> ());
+  (* The pair rule Config.make enforces per world, surfaced as a flag
+     error: a fill target above 1 with no timer would stall batches that
+     never reach it. *)
+  (match (min_fill, hold_ms) with
+  | Some m, (None | Some 0.0) when m > 1 ->
+      Printf.eprintf
+        "blockplane-cli: --batch-min-fill %d needs --batch-hold MS with MS > 0\n"
+        m;
+      exit 1
+  | _ -> ());
+  Bp_harness.Runner.set_default_batch_min_fill min_fill;
+  Bp_harness.Runner.set_default_batch_hold (Option.map Bp_sim.Time.of_ms hold_ms)
+
 let jobs_arg =
   let doc =
     "Number of worker domains to fan independent simulation tasks across. \
@@ -163,7 +221,7 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_experiment id scale jobs verbose no_cache pipeline verify_jobs
-    cluster_send load_rate load_trace skew =
+    cluster_send load_rate load_trace skew shards batch_min_fill batch_hold =
   setup_logs verbose;
   set_cache no_cache;
   set_pipeline pipeline;
@@ -172,6 +230,8 @@ let run_experiment id scale jobs verbose no_cache pipeline verify_jobs
   set_load_rate load_rate;
   set_load_trace load_trace;
   set_skew skew;
+  set_shards shards;
+  set_batch batch_min_fill batch_hold;
   match Bp_harness.Experiments.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `blockplane-cli list`\n" id;
@@ -194,11 +254,12 @@ let run_cmd =
     Term.(
       const run_experiment $ id_arg $ scale_arg $ jobs_arg $ verbose_arg
       $ no_cache_arg $ pipeline_arg $ verify_jobs_arg $ cluster_send_arg
-      $ load_rate_arg $ load_trace_arg $ skew_arg)
+      $ load_rate_arg $ load_trace_arg $ skew_arg $ shards_arg
+      $ batch_min_fill_arg $ batch_hold_arg)
 
 let all_cmd =
   let run scale jobs verbose no_cache pipeline verify_jobs cluster_send
-      load_rate load_trace skew =
+      load_rate load_trace skew shards batch_min_fill batch_hold =
     setup_logs verbose;
     set_cache no_cache;
     set_pipeline pipeline;
@@ -207,6 +268,8 @@ let all_cmd =
     set_load_rate load_rate;
     set_load_trace load_trace;
     set_skew skew;
+    set_shards shards;
+    set_batch batch_min_fill batch_hold;
     with_pool jobs (fun pool ->
         List.iter
           (fun e ->
@@ -220,7 +283,8 @@ let all_cmd =
     Term.(
       const run $ scale_arg $ jobs_arg $ verbose_arg $ no_cache_arg
       $ pipeline_arg $ verify_jobs_arg $ cluster_send_arg $ load_rate_arg
-      $ load_trace_arg $ skew_arg)
+      $ load_trace_arg $ skew_arg $ shards_arg $ batch_min_fill_arg
+      $ batch_hold_arg)
 
 let () =
   let info =

@@ -72,6 +72,10 @@ val cluster_send : t -> bool
     cluster-sending path ({!Cluster_send}) instead of fi+1-signature
     bundles on the inter-participant hot path. *)
 
+val xs_staged : t -> int
+(** Cross-shard transactions staged (prepared, undecided) at this unit's
+    lead node — see {!Unit_node.xs_staged}. 0 at quiescence. *)
+
 val submit_record :
   t -> Record.t -> on_done:(unit -> unit) -> on_rejected:(unit -> unit) -> unit
 (** Low-level submission of an arbitrary record (used by tests to model

@@ -16,12 +16,16 @@ type t = {
   fg : int;
   cluster : bool;
   units : unit_t array;
+  shard_map : Shard.map;
+  shard_router : Shard.t;
 }
 
 let n_participants t = t.n_participants
 let fi t = t.fi
 let fg t = t.fg
 let cluster_send t = t.cluster
+let shard_map t = t.shard_map
+let shard_router t = t.shard_router
 let api t p = t.units.(p).api
 let node t p i = t.units.(p).nodes.(i)
 let nodes_of t p = t.units.(p).nodes
@@ -35,8 +39,13 @@ let addrs_for ~fi p = Array.init ((3 * fi) + 1) (fun i -> Addr.make ~dc:p ~idx:i
 
 let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
     ?batch_max ?batch_min_fill ?batch_hold ?request_timeout ?max_in_flight
-    ?verify_cost ?verify_jobs ?extra_verify_units ?(cluster_send = false) ~app
-    () =
+    ?verify_cost ?verify_jobs ?extra_verify_units ?(cluster_send = false)
+    ?shard_map ?prepare_timeout ~app () =
+  let shard_map =
+    match shard_map with Some m -> m | None -> Shard.make ~shards:1 ()
+  in
+  if Shard.shards shard_map > n_participants then
+    invalid_arg "Deployment.create: more shards than participants";
   (* Cluster-sending covers the plain inter-participant path; geo-proof
      records (fg > 0) still need the signature bundles every mirror
      checks, so the knob falls back to bundle mode there. *)
@@ -115,7 +124,15 @@ let create ~network ~n_participants ?(fi = 1) ?(fg = 0) ?(scheme = `Hmac)
         { participant = p; pbft_cfg; nodes; api; geo; daemons; reserves })
       units
   in
-  { n_participants; fi; fg; cluster = cluster_send; units }
+  (* The shard router lives over the units: shard s is participant s's
+     unit. With one shard (the default) it installs nothing and the
+     deployment behaves byte-identically to the unsharded seed. *)
+  let shard_router =
+    Shard.router ~map:shard_map ~engine
+      ~api:(fun p -> units.(p).api)
+      ?prepare_timeout ()
+  in
+  { n_participants; fi; fg; cluster = cluster_send; units; shard_map; shard_router }
 
 let app_digests_agree t p =
   let nodes = t.units.(p).nodes in

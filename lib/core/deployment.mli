@@ -21,6 +21,8 @@ val create :
   ?verify_jobs:int ->
   ?extra_verify_units:(string -> int) ->
   ?cluster_send:bool ->
+  ?shard_map:Shard.map ->
+  ?prepare_timeout:Bp_sim.Time.t ->
   app:(unit -> App.instance) ->
   unit ->
   t
@@ -40,7 +42,14 @@ val create :
     [cluster_send] (default off) switches the inter-participant path to
     expected-constant cluster-sending ({!Cluster_send}); it is forced
     off when fg > 0, where records must carry signature bundles for the
-    mirrors. *)
+    mirrors.
+    [shard_map] (default: one shard) partitions the keyspace across the
+    participants' units — shard [s] is participant [s]'s unit, so the
+    map may not have more shards than participants. A {!Shard.router}
+    over the units is built either way; with one shard it installs no
+    handlers and every submit is the seed-identical direct path.
+    [prepare_timeout] bounds the router's cross-shard vote wait (see
+    {!Shard.router}). *)
 
 val n_participants : t -> int
 val fi : t -> int
@@ -49,6 +58,13 @@ val fg : t -> int
 val cluster_send : t -> bool
 (** Whether the deployment runs the cluster-sending path (the requested
     knob after the fg > 0 fallback). *)
+
+val shard_map : t -> Shard.map
+(** The static shard map this deployment was built with. *)
+
+val shard_router : t -> Shard.t
+(** The deployment's shard router: submit keyed transactions here to get
+    shard routing and cross-shard two-phase commit over the units. *)
 
 val api : t -> int -> Api.t
 (** Participant [p]'s user-space handle. *)

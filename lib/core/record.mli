@@ -91,3 +91,34 @@ val signature_jobs :
 (** Pair every [(identity, signature)] of a proof bundle with the
     statement it must attest: [(identity, statement, signature)] triples
     ready to become [Bp_crypto.Verify_batch] jobs. *)
+
+(** {1 Cross-shard transaction records}
+
+    The shard layer ({!Shard}) drives its BFT two-phase commit through
+    ordinary log-commit records: a reserved ["__xs:"] payload prefix
+    marks the prepare / apply / decide entries each participant shard
+    appends to its own Local Log. Middleware-internal, like read markers
+    — {!Unit_node} gives them their staging semantics and the user
+    protocol only ever sees the enclosed ops as plain commits. *)
+
+type xs =
+  | Xs_prepare of { txid : string; ops : (string * string) list }
+      (** Stage [(key, op)] pairs under [txid]; committed by every
+          participant shard as its YES vote. *)
+  | Xs_apply of { txid : string; ops : (string * string) list }
+      (** Single-shard multi-op transaction: apply immediately, no
+          staging round-trip needed. *)
+  | Xs_decide of { txid : string; commit : bool }
+      (** The coordinator's decision, committed in every participant's
+          log; applies the staged ops in order, or drops them. A decide
+          for an unknown [txid] is a deterministic no-op. *)
+
+val xs_payload : xs -> string
+(** The ["__xs:"]-prefixed log-commit payload encoding this step. *)
+
+val is_xs_payload : string -> bool
+
+val xs_of_payload : string -> [ `Not_xs | `Xs of xs | `Malformed ]
+(** [`Malformed] is an xs-prefixed payload whose body does not decode —
+    verification routines reject these ([`Not_xs] payloads are ordinary
+    user commits). *)

@@ -36,6 +36,9 @@ type t = {
   mutable byz_drop_comm : bool;
   mutable cluster : Cluster_send.t option; (* set by create iff cluster-send on *)
   mutable sig_jobs : int; (* transmission-proof signature checks demanded *)
+  (* cross-shard 2PC: ops staged by a committed prepare record, awaiting
+     the decide record of the same txid (see Shard) *)
+  xs_staging : (string, (string * string) list) Hashtbl.t;
 }
 
 let addr t = t.addr
@@ -58,6 +61,7 @@ let set_byzantine_sign_anything t b = t.byz_sign_anything <- b
 let set_byzantine_drop_comm t b = t.byz_drop_comm <- b
 let cluster_agent t = t.cluster
 let cluster_enabled t = Option.is_some t.cluster
+let xs_staged t = Hashtbl.length t.xs_staging
 
 let poll_receive t ~src =
   let q = t.reception.(src) in
@@ -199,23 +203,43 @@ let is_read_marker payload =
   String.length payload >= 13 && String.sub payload 0 13 = "_read_marker:"
 
 (* What the user protocol sees of a committed record — shared between
-   live execution and WAL replay so recovery is exact. *)
-let apply_to_app app record =
+   live execution and WAL replay so recovery is exact. Cross-shard
+   transaction records carry staging semantics: a prepare parks its ops
+   under the txid, the decide of the same txid applies them in order (or
+   drops them on abort), and a single-shard [Xs_apply] applies its ops
+   immediately. The user protocol sees each op as an ordinary commit;
+   the xs envelope never reaches it, like read markers. [staging] is
+   per-log-copy state, so replay hands in its own empty table and
+   reconverges exactly. *)
+let apply_to_app ~staging app record =
   match record with
   | Record.Mirrored _ -> ()
   | Record.Commit payload when is_read_marker payload -> ()
+  | Record.Commit payload when Record.is_xs_payload payload -> (
+      match Record.xs_of_payload payload with
+      | `Xs (Record.Xs_prepare { txid; ops }) -> Hashtbl.replace staging txid ops
+      | `Xs (Record.Xs_apply { txid = _; ops }) ->
+          List.iter (fun (_key, op) -> App.apply app (Record.Commit op)) ops
+      | `Xs (Record.Xs_decide { txid; commit }) ->
+          (match Hashtbl.find_opt staging txid with
+          | Some ops when commit ->
+              List.iter (fun (_key, op) -> App.apply app (Record.Commit op)) ops
+          | Some _ | None -> ());
+          Hashtbl.remove staging txid
+      | `Not_xs | `Malformed -> ())
   | Record.Commit _ | Record.Comm _ | Record.Recv _ -> App.apply app record
 
 let wal_image t = Bp_storage.Wal.contents t.wal
 
 let replay ~image ~app =
   let wal, discarded = Bp_storage.Wal.of_contents image in
+  let staging = Hashtbl.create 8 in
   let count = ref 0 in
   List.iter
     (fun encoded ->
       match Record.decode encoded with
       | Ok record ->
-          apply_to_app app record;
+          apply_to_app ~staging app record;
           incr count
       | Error _ -> ())
     (Bp_storage.Wal.records wal);
@@ -231,6 +255,19 @@ let verifier t ~kind ~op =
       | Record.Recv tr -> verify_transmission t tr && App.verify t.app record
       | Record.Mirrored _ -> true (* geo failures are benign (§V) *)
       | Record.Commit payload when is_read_marker payload -> true
+      | Record.Commit payload when Record.is_xs_payload payload -> (
+          (* Prepare/apply: every enclosed op must be a transition the
+             app would accept — a rejected prepare is this shard's NO
+             vote. Decides carry no ops; a decide for an unknown txid
+             applies nothing, so it is always safe to order. *)
+          match Record.xs_of_payload payload with
+          | `Xs (Record.Xs_prepare { ops; _ } | Record.Xs_apply { ops; _ }) ->
+              ops <> []
+              && List.for_all
+                   (fun (_key, op) -> App.verify t.app (Record.Commit op))
+                   ops
+          | `Xs (Record.Xs_decide _) -> true
+          | `Not_xs | `Malformed -> false)
       | Record.Commit _ | Record.Comm _ -> App.verify t.app record)
 
 (* ---------- asynchronous verification prefetch ---------- *)
@@ -370,7 +407,7 @@ let execute t ~seq:_ (r : Bp_pbft.Msg.request) =
       let entry = Bp_storage.Log_store.append t.log r.Bp_pbft.Msg.op in
       let pos = entry.Bp_storage.Log_store.index in
       Bp_storage.Wal.append t.wal r.Bp_pbft.Msg.op;
-      apply_to_app t.app record;
+      apply_to_app ~staging:t.xs_staging t.app record;
       (match record with
       | Record.Recv tr ->
           let src = tr.Record.src in
@@ -554,6 +591,7 @@ let create ~network ~pbft_cfg ~participant ~n_participants ~node_idx ~fg
       byz_drop_comm = false;
       cluster = None;
       sig_jobs = 0;
+      xs_staging = Hashtbl.create 8;
     }
   in
   let replica =

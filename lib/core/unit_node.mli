@@ -106,6 +106,12 @@ val cluster_agent : t -> Cluster_send.t option
 
 val cluster_enabled : t -> bool
 
+val xs_staged : t -> int
+(** Cross-shard transactions whose prepare has committed in this node's
+    log copy but whose decide has not yet: staged op slices awaiting the
+    coordinator's decision. 0 at quiescence — every prepared txid is
+    eventually decided (commit or the timeout downgrade). *)
+
 val verify_effort : t -> int
 (** Transmission-proof signature verifications this node has demanded so
     far: fi+1-bundle checks submitted by the receive verifier plus

@@ -83,6 +83,11 @@ let all =
       plan = (fun ~scale -> Exp_local.verify_plan ~scale);
     };
     {
+      id = "ablation-shard";
+      title = "Keyspace sharding: 1..16 units, cross-shard BFT commit";
+      plan = (fun ~scale -> Exp_shard.plan ~scale);
+    };
+    {
       id = "ablation-clustersend";
       title = "Cluster-sending vs fi+1-signature bundles";
       plan = (fun ~scale -> Exp_clustersend.plan ~scale);

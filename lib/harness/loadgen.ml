@@ -133,6 +133,61 @@ let next_client t =
   | Some z -> Bp_util.Zipf.sample z t.rng
   | None -> if t.spec.clients = 1 then 0 else Bp_util.Rng.int t.rng t.spec.clients
 
+(* ---------- multi-key transaction mix (shard targeting) ---------- *)
+
+type mix_spec = {
+  shards : int;
+  cross_fraction : float;
+  txn_keys : int;
+  shard_skew : float;
+}
+
+type mix = {
+  mspec : mix_spec;
+  mrng : Bp_util.Rng.t;
+  mzipf : Bp_util.Zipf.t option;
+}
+
+let mix ~rng spec =
+  if spec.shards < 1 then invalid_arg "Loadgen.mix: shards must be >= 1";
+  if
+    spec.cross_fraction < 0.0 || spec.cross_fraction > 1.0
+    || not (Float.is_finite spec.cross_fraction)
+  then invalid_arg "Loadgen.mix: cross_fraction must be in [0, 1]";
+  if spec.txn_keys < 2 then invalid_arg "Loadgen.mix: txn_keys must be >= 2";
+  if spec.shard_skew < 0.0 || not (Float.is_finite spec.shard_skew) then
+    invalid_arg "Loadgen.mix: shard_skew must be >= 0 and finite";
+  let mzipf =
+    if spec.shard_skew > 0.0 && spec.shards > 1 then
+      Some (Bp_util.Zipf.create ~n:spec.shards ~s:spec.shard_skew)
+    else None
+  in
+  { mspec = spec; mrng = rng; mzipf }
+
+let mix_spec m = m.mspec
+
+let draw_shard m =
+  match m.mzipf with
+  | Some z -> Bp_util.Zipf.sample z m.mrng
+  | None -> if m.mspec.shards = 1 then 0 else Bp_util.Rng.int m.mrng m.mspec.shards
+
+let draw_targets m =
+  let home = draw_shard m in
+  if m.mspec.shards = 1 || not (Bp_util.Rng.bernoulli m.mrng m.mspec.cross_fraction)
+  then [ home ]
+  else begin
+    (* Distinct shards by redraw: the draw count is capped at the shard
+       count, so the rejection loop terminates; under skew the expected
+       redraws stay small because duplicates concentrate on few ranks. *)
+    let want = Stdlib.min m.mspec.txn_keys m.mspec.shards in
+    let chosen = ref [ home ] in
+    while List.length !chosen < want do
+      let s = draw_shard m in
+      if not (List.mem s !chosen) then chosen := s :: !chosen
+    done;
+    List.sort compare !chosen
+  end
+
 type arrival = { index : int; client : int; at : Time.t }
 
 (* The canonical per-arrival draw order — shared, by construction, with

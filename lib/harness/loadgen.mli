@@ -58,6 +58,38 @@ val next_client : t -> int
 (** Draw the arriving client's rank in [0, clients-1] (zipf when
     [skew > 0], else uniform). *)
 
+(** {1 Multi-key transaction mix}
+
+    Shard targeting for the sharded-deployment experiments: each arrival
+    is either a single-shard op or, with probability [cross_fraction], a
+    multi-key transaction spanning [txn_keys] distinct shards. Shard
+    popularity is zipfian when [shard_skew > 0] (hot-shard contention),
+    uniform otherwise. O(1) state, like the arrival processes; all
+    randomness flows through the [rng] handed to {!mix}. *)
+
+type mix_spec = {
+  shards : int;
+  cross_fraction : float;  (** probability an arrival spans shards *)
+  txn_keys : int;  (** distinct shards per cross-shard txn (>= 2, capped
+                       at [shards]) *)
+  shard_skew : float;  (** zipf exponent over shard ranks; 0 = uniform *)
+}
+
+type mix
+
+val mix : rng:Bp_util.Rng.t -> mix_spec -> mix
+(** @raise Invalid_argument on a non-positive shard count, a
+    [cross_fraction] outside [0, 1], [txn_keys < 2] or a negative or
+    non-finite [shard_skew]. *)
+
+val mix_spec : mix -> mix_spec
+
+val draw_targets : mix -> int list
+(** The target shards of the next arrival: a singleton for a
+    single-shard op, [min txn_keys shards] distinct shards (sorted
+    ascending) for a cross-shard transaction. With one shard every draw
+    is a singleton. *)
+
 type arrival = { index : int; client : int; at : Bp_sim.Time.t }
 
 val plan :

@@ -64,12 +64,65 @@ let set_default_skew s =
     invalid_arg "Runner.set_default_skew: skew must be >= 0 and finite";
   default_skew := s
 
+(* The --batch-min-fill / --batch-hold knobs (PR 9's batch-cut policy),
+   same write-once discipline. [None] keeps the seed's cut-on-any-signal
+   behaviour. Kept as options — unlike the eager knobs above — so an
+   experiment passing its own explicit policy and a world passing
+   nothing compose instead of resetting each other: the per-world
+   explicit value always wins, the CLI default fills only the gaps, and
+   the pair rule (min-fill > 1 needs a hold window) is judged by
+   [Bp_pbft.Config.make] on the COMPOSED values, not on whichever knob
+   was set last. *)
+let default_batch_min_fill : int option ref = ref None
+
+let set_default_batch_min_fill v =
+  (match v with
+  | Some m when m < 1 ->
+      invalid_arg "Runner.set_default_batch_min_fill: must be >= 1"
+  | _ -> ());
+  default_batch_min_fill := v
+
+let default_batch_hold : Time.t option ref = ref None
+
+let set_default_batch_hold v =
+  (match v with
+  | Some h when Time.compare h Time.zero < 0 ->
+      invalid_arg "Runner.set_default_batch_hold: must be >= 0"
+  | _ -> ());
+  default_batch_hold := v
+
+(* The --shards knob, same write-once discipline. Worlds that don't
+   carry an explicit shard map get [min default n_participants] hash
+   shards: the clamp keeps small fixed-size worlds (the fig4 unit pair,
+   the two-participant comm studies) valid under a global --shards 16
+   instead of failing Deployment's shards <= participants check. An
+   EXPLICIT ?shards is never clamped — asking for more shards than
+   participants is a configuration error and raises. Default 1 = the
+   seed-identical unsharded path. *)
+let default_shards = ref 1
+
+let set_default_shards s =
+  if s < 1 then invalid_arg "Runner.set_default_shards: shards must be >= 1";
+  default_shards := s
+
 let fresh_world ?(fi = 1) ?(fg = 0) ?(seed = 4242L) ?(n_participants = 4)
-    ?batch_max ?batch_min_fill ?batch_hold ?max_in_flight ?verify_cost
-    ?verify_jobs ?cluster_send
+    ?topology ?batch_max ?batch_min_fill ?batch_hold ?max_in_flight
+    ?verify_cost ?verify_jobs ?cluster_send ?shards ?shard_map
+    ?prepare_timeout
     ?(app = fun () -> Blockplane.App.make (module Blockplane.App.Null)) () =
   let engine = Engine.create ~seed () in
-  let net = Network.create engine Topology.aws_paper () in
+  (* More participants than the paper's four regions: tile the Table I
+     topology (metro twins per region) so every unit still gets its own
+     datacenter. Deployments within the first four sites are unchanged. *)
+  let topology =
+    match topology with
+    | Some topo -> topo
+    | None ->
+        if n_participants <= Topology.num_dcs Topology.aws_paper then
+          Topology.aws_paper
+        else Topology.tiled Topology.aws_paper ~sites:n_participants
+  in
+  let net = Network.create engine topology () in
   let max_in_flight =
     match max_in_flight with Some d -> d | None -> !default_pipeline
   in
@@ -79,10 +132,23 @@ let fresh_world ?(fi = 1) ?(fg = 0) ?(seed = 4242L) ?(n_participants = 4)
   let cluster_send =
     match cluster_send with Some b -> b | None -> !default_cluster_send
   in
+  let batch_min_fill =
+    match batch_min_fill with Some _ as v -> v | None -> !default_batch_min_fill
+  in
+  let batch_hold =
+    match batch_hold with Some _ as v -> v | None -> !default_batch_hold
+  in
+  let shard_map =
+    match (shard_map, shards) with
+    | Some m, _ -> m
+    | None, Some s -> Blockplane.Shard.make ~shards:s ()
+    | None, None ->
+        Blockplane.Shard.make ~shards:(Stdlib.min !default_shards n_participants) ()
+  in
   let dep =
     Blockplane.Deployment.create ~network:net ~n_participants ~fi ~fg ?batch_max
       ?batch_min_fill ?batch_hold ~max_in_flight ?verify_cost ~verify_jobs
-      ~cluster_send ~app ()
+      ~cluster_send ~shard_map ?prepare_timeout ~app ()
   in
   { engine; net; dep }
 

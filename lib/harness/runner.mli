@@ -58,11 +58,42 @@ val set_default_skew : float -> unit
 
 val default_skew : float ref
 
+val set_default_batch_min_fill : int option -> unit
+(** Batch-cut minimum fill for worlds that don't pick one explicitly
+    (the [--batch-min-fill] knob; see {!Bp_pbft.Config}). [None] (the
+    default) keeps the seed's cut-on-any-signal policy. Composes with
+    per-world explicit values instead of resetting them: the explicit
+    value wins, and the min-fill/hold pair rule is validated by
+    [Config.make] on the composed pair.
+    @raise Invalid_argument on a fill below 1. *)
+
+val default_batch_min_fill : int option ref
+
+val set_default_batch_hold : Bp_sim.Time.t option -> unit
+(** Batch-cut hold window for worlds that don't pick one explicitly (the
+    [--batch-hold] knob, milliseconds on the command line). Same
+    discipline as {!set_default_batch_min_fill}.
+    @raise Invalid_argument on a negative hold. *)
+
+val default_batch_hold : Bp_sim.Time.t option ref
+
+val set_default_shards : int -> unit
+(** Shard count for worlds that don't carry an explicit shard map (the
+    [--shards N] knob). Defaults to 1 — the seed-identical unsharded
+    path. Worlds clamp the DEFAULT to their participant count (a global
+    [--shards 16] must not break a two-participant comm study); an
+    explicit [?shards] to {!fresh_world} is never clamped and raises in
+    [Deployment.create] if it exceeds the participants.
+    @raise Invalid_argument on a count below 1. *)
+
+val default_shards : int ref
+
 val fresh_world :
   ?fi:int ->
   ?fg:int ->
   ?seed:int64 ->
   ?n_participants:int ->
+  ?topology:Bp_sim.Topology.t ->
   ?batch_max:int ->
   ?batch_min_fill:int ->
   ?batch_hold:Bp_sim.Time.t ->
@@ -70,9 +101,20 @@ val fresh_world :
   ?verify_cost:Bp_sim.Time.t ->
   ?verify_jobs:int ->
   ?cluster_send:bool ->
+  ?shards:int ->
+  ?shard_map:Blockplane.Shard.map ->
+  ?prepare_timeout:Bp_sim.Time.t ->
   ?app:(unit -> Blockplane.App.instance) ->
   unit ->
   world
+(** A deterministic world: engine, network and deployment. [topology]
+    defaults to the paper's Table I; when [n_participants] exceeds its
+    four regions the default becomes {!Bp_sim.Topology.tiled} over it,
+    so scale-out worlds get one datacenter per unit at fixed per-unit
+    resources. [shards] / [shard_map] select the keyspace partition
+    (explicit map wins; neither = the write-once [--shards] default,
+    clamped to the participant count); [prepare_timeout] bounds the
+    cross-shard vote wait (see {!Blockplane.Shard.router}). *)
 
 val payload : size:int -> int -> string
 (** Deterministic batch contents of the given byte size (the index makes

@@ -40,6 +40,25 @@ let aws_paper =
       |]
     ()
 
+let tiled ?(metro_rtt_ms = 4.0) base ~sites =
+  if sites < 1 then invalid_arg "Topology.tiled: sites must be positive";
+  if metro_rtt_ms <= 0.0 then invalid_arg "Topology.tiled: metro_rtt_ms";
+  let k = Array.length base.names in
+  let names =
+    Array.init sites (fun i ->
+        if i < k then base.names.(i)
+        else Printf.sprintf "%s-%d" base.names.(i mod k) (i / k))
+  in
+  let rtt_ms =
+    Array.init sites (fun i ->
+        Array.init sites (fun j ->
+            if i = j then 0.0
+            else if i mod k = j mod k then metro_rtt_ms
+            else base.rtt_ms.(i mod k).(j mod k)))
+  in
+  make ~names ~rtt_ms ~intra_rtt_ms:base.intra_rtt_ms
+    ~bandwidth_mbps:(base.bandwidth_bps /. 1e6) ()
+
 let num_dcs t = Array.length t.names
 
 let name t i = t.names.(i)

@@ -23,6 +23,17 @@ val dc_oregon : int
 val dc_virginia : int
 val dc_ireland : int
 
+val tiled : ?metro_rtt_ms:float -> t -> sites:int -> t
+(** [tiled base ~sites] extends [base] to [sites] datacenters by tiling
+    its regions: site [i] lives in region [i mod k] (k = base size), two
+    distinct sites of the same region are [metro_rtt_ms] apart (default
+    4 ms — metro-area peering), and cross-region pairs keep the base
+    matrix's RTT. The first k sites are exactly the base topology, so a
+    deployment confined to them is unchanged. This is how scale-out
+    worlds get more than the paper's four sites (one per Blockplane
+    unit) at fixed per-unit resources.
+    @raise Invalid_argument on a non-positive [sites] or [metro_rtt_ms]. *)
+
 val num_dcs : t -> int
 val name : t -> int -> string
 val dc_of_name : t -> string -> int option

@@ -24,7 +24,7 @@ let test_registry_complete () =
       "table1"; "fig4"; "table2"; "fig5"; "fig6"; "fig7"; "fig8";
       "ablation-reads"; "ablation-batch"; "ablation-sig"; "ablation-loss";
       "ablation-load"; "ablation-saturation"; "ablation-pipeline";
-      "ablation-verify";
+      "ablation-verify"; "ablation-shard";
       "ablation-clustersend"; "locality"; "costs";
     ]
     ids;

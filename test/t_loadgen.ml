@@ -155,6 +155,48 @@ let test_validation () =
            Loadgen.Diurnal { base_rate = 100.0; trace = [| (1.0, 0.0) |] };
        })
 
+(* --- multi-key transaction mix --- *)
+
+let test_mix_targets () =
+  let mspec cross skew =
+    { Loadgen.shards = 8; cross_fraction = cross; txn_keys = 3; shard_skew = skew }
+  in
+  let m0 = Loadgen.mix ~rng:(rng 21L) (mspec 0.0 0.0) in
+  for _ = 1 to 200 do
+    match Loadgen.draw_targets m0 with
+    | [ s ] -> Alcotest.(check bool) "shard in range" true (s >= 0 && s < 8)
+    | l -> Alcotest.failf "cross=0 drew %d targets" (List.length l)
+  done;
+  let m1 = Loadgen.mix ~rng:(rng 22L) (mspec 1.0 0.0) in
+  for _ = 1 to 200 do
+    let l = Loadgen.draw_targets m1 in
+    Alcotest.(check int) "txn_keys distinct shards" 3
+      (List.length (List.sort_uniq compare l));
+    Alcotest.(check bool) "targets sorted" true (l = List.sort compare l)
+  done;
+  (* Shard skew concentrates singleton draws on the low ranks. *)
+  let ms = Loadgen.mix ~rng:(rng 23L) (mspec 0.0 0.99) in
+  let freq = Array.make 8 0 in
+  for _ = 1 to 4000 do
+    match Loadgen.draw_targets ms with
+    | [ s ] -> freq.(s) <- freq.(s) + 1
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "hot shard dominates under skew" true
+    (freq.(0) > 2 * freq.(7));
+  let invalid spec =
+    try
+      ignore (Loadgen.mix ~rng:(rng 1L) spec);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "cross fraction > 1 rejected" true
+    (invalid (mspec 1.5 0.0));
+  Alcotest.(check bool) "txn_keys < 2 rejected" true
+    (invalid { (mspec 0.5 0.0) with Loadgen.txn_keys = 1 });
+  Alcotest.(check bool) "negative shard skew rejected" true
+    (invalid (mspec 0.5 (-1.0)))
+
 (* --- streaming scheduler == eager reference (qcheck) --- *)
 
 let arbitrary_spec =
@@ -269,6 +311,7 @@ let suite =
         tc "bursty offered rate" test_bursty_rate;
         tc "diurnal rate and quiet windows" test_diurnal_rate_and_quiet;
         tc "spec validation" test_validation;
+        tc "transaction mix targets" test_mix_targets;
         QCheck_alcotest.to_alcotest streaming_matches_eager;
         tc "O(1) heap occupancy" test_heap_occupancy;
         tc "saturation bit-identical across jobs"

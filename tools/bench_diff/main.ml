@@ -1,0 +1,305 @@
+(* bench_diff: compare two committed bp-bench JSON reports and fail
+   (exit 1) on a >10% regression in any shared experiment's primary
+   metrics.
+
+   The reports' per-experiment metrics are simulated quantities —
+   deterministic for equal seeds — so a metric moving between two
+   committed BENCH_PRn.json files means a code change moved it, not
+   machine noise. Wall-clock fields (wall_s, the micro rows) are
+   machine-dependent and deliberately NOT compared.
+
+   Which metrics count as primary is directional by name:
+     higher-is-better  *_rps, *_mbps, *_speedup, *_scaleout
+     lower-is-better   *_ms   (the latency percentiles)
+   Everything else (occupancy, fills, counters, ratios) is telemetry,
+   compared by nothing — it has no regression direction a threshold can
+   police.
+
+   Usage: bench_diff OLD.json NEW.json [--threshold PCT]
+
+   Schema compatibility: reads any bp-bench/5..8 report (it only needs
+   the experiments array's id and metrics fields). Experiments or
+   metrics present in only one report are skipped — new experiments are
+   growth, not regressions. *)
+
+(* ---------- a minimal JSON reader ---------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then (
+      pos := !pos + l;
+      v)
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); loop ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); loop ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); loop ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); loop ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); loop ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); loop ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance (); loop ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance (); loop ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* The reports are ASCII; escape non-ASCII back to '?' so a
+                 stray code point cannot crash the comparator. *)
+              Buffer.add_char b (if code < 0x80 then Char.chr code else '?');
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (members [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          Arr [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Arr (elements [])
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+let read_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "bench_diff: cannot read %s: %s\n" path msg;
+      exit 2
+  in
+  let len = in_channel_length ic in
+  let b = really_input_string ic len in
+  close_in ic;
+  b
+
+(* ---------- report model ---------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+(* [(experiment id, [(metric name, value)])] for every experiment that
+   reports metrics. *)
+let experiments_of path =
+  let root =
+    match parse_json (read_file path) with
+    | root -> root
+    | exception Parse_error msg ->
+        Printf.eprintf "bench_diff: %s: %s\n" path msg;
+        exit 2
+  in
+  let exps =
+    match member "experiments" root with
+    | Some (Arr exps) -> exps
+    | _ ->
+        Printf.eprintf "bench_diff: %s: no experiments array\n" path;
+        exit 2
+  in
+  List.filter_map
+    (fun e ->
+      match (member "id" e, member "metrics" e) with
+      | Some (Str id), Some (Obj metrics) ->
+          let metrics =
+            List.filter_map
+              (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
+              metrics
+          in
+          Some (id, metrics)
+      | Some (Str id), _ -> Some (id, [])
+      | _ -> None)
+    exps
+
+(* ---------- directional comparison ---------- *)
+
+type direction = Higher_better | Lower_better
+
+let ends_with suffix name =
+  let ls = String.length suffix and ln = String.length name in
+  ln >= ls && String.sub name (ln - ls) ls = suffix
+
+let direction_of name =
+  if
+    ends_with "_rps" name || ends_with "_mbps" name
+    || ends_with "_speedup" name || ends_with "_scaleout" name
+  then Some Higher_better
+  else if ends_with "_ms" name then Some Lower_better
+  else None
+
+(* Percent change in the regression direction: positive = worse. *)
+let regression_pct dir ~old_v ~new_v =
+  match dir with
+  | Higher_better -> (old_v -. new_v) /. old_v *. 100.0
+  | Lower_better -> (new_v -. old_v) /. old_v *. 100.0
+
+let () =
+  let threshold = ref 10.0 in
+  let paths = ref [] in
+  let rec parse = function
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t > 0.0 ->
+            threshold := t;
+            parse rest
+        | _ ->
+            Printf.eprintf "bench_diff: --threshold expects a positive percent\n";
+            exit 2)
+    | [ "--threshold" ] ->
+        Printf.eprintf "bench_diff: --threshold requires an argument\n";
+        exit 2
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+    | [] -> ()
+  in
+  (match Array.to_list Sys.argv with
+  | _exe :: rest -> parse rest
+  | [] -> ());
+  let old_path, new_path =
+    match List.rev !paths with
+    | [ o; n ] -> (o, n)
+    | _ ->
+        Printf.eprintf "usage: bench_diff OLD.json NEW.json [--threshold PCT]\n";
+        exit 2
+  in
+  let old_exps = experiments_of old_path in
+  let new_exps = experiments_of new_path in
+  let compared = ref 0 in
+  let regressions = ref [] in
+  List.iter
+    (fun (id, old_metrics) ->
+      match List.assoc_opt id new_exps with
+      | None -> () (* experiment dropped: not this tool's concern *)
+      | Some new_metrics ->
+          List.iter
+            (fun (name, old_v) ->
+              match (direction_of name, List.assoc_opt name new_metrics) with
+              | Some dir, Some new_v
+                when Float.is_finite old_v && Float.is_finite new_v
+                     && old_v > 0.0 ->
+                  incr compared;
+                  let pct = regression_pct dir ~old_v ~new_v in
+                  if pct > !threshold then
+                    regressions := (id, name, old_v, new_v, pct) :: !regressions
+              | _ -> ())
+            old_metrics)
+    old_exps;
+  Printf.printf "bench_diff: %s -> %s: %d directional metrics compared\n"
+    old_path new_path !compared;
+  match List.rev !regressions with
+  | [] ->
+      Printf.printf "bench_diff: no regression beyond %.0f%%\n" !threshold;
+      exit 0
+  | regs ->
+      List.iter
+        (fun (id, name, old_v, new_v, pct) ->
+          Printf.printf "REGRESSION %s %s: %g -> %g (%.1f%% worse)\n" id name
+            old_v new_v pct)
+        regs;
+      Printf.printf "bench_diff: %d metric(s) regressed beyond %.0f%%\n"
+        (List.length regs) !threshold;
+      exit 1
